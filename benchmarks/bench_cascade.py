@@ -1,0 +1,76 @@
+"""Extension experiment: the c-ANNS radius-ladder reduction (§2.1, §5.2).
+
+Section 5.2 argues LCCS-LSH can serve every (R, c)-NNS level from one
+index, while E2LSH's ladder needs one index per radius (its ``K``
+depends on ``R``).  We build both cascades over the same radius range
+and report index count, total hash functions, size, build time, and
+answer quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import E2LSHCascade, LCCSCascade
+from repro.eval import banner, format_table
+
+from conftest import get_bundle
+
+
+def test_cascade_index_sharing(benchmark, reporter, capsys):
+    _, data, queries, gt = get_bundle("sift", "euclidean")
+    dim = data.shape[1]
+    nn = float(np.mean(gt.distances[:, 0]))
+    far = float(np.percentile(gt.distances[:, -1], 90)) * 4.0
+    c = 2.0
+    e2 = E2LSHCascade(dim=dim, r_min=nn * 0.5, r_max=far, c=c, L=4, seed=1)
+    lc = LCCSCascade(
+        dim=dim, r_min=nn * 0.5, r_max=far, c=c, m=64, w=2.0 * nn, seed=1
+    )
+    e2.fit(data)
+    lc.fit(data)
+
+    def answer_rate(index):
+        hits = 0
+        within = 0
+        for i, q in enumerate(queries):
+            ids, dists = index.query(q, k=1)
+            if len(ids):
+                hits += 1
+                # c-ANNS contract: distance within c * true NN distance
+                # up to one ladder step of slack.
+                if dists[0] <= c * c * gt.distances[i, 0] + 1e-9:
+                    within += 1
+        return hits, within
+
+    e2_hits, e2_ok = answer_rate(e2)
+    lc_hits, lc_ok = answer_rate(lc)
+    rows = [
+        (
+            "E2LSH cascade", len(e2.radii), e2.total_hash_functions,
+            e2.index_size_bytes() / 2**20, e2.build_time, e2_hits, e2_ok,
+        ),
+        (
+            "LCCS cascade", 1, lc.total_hash_functions,
+            lc.index_size_bytes() / 2**20, lc.build_time, lc_hits, lc_ok,
+        ),
+    ]
+    table = format_table(
+        ("method", "#indexes", "#hash fns", "size(MB)", "build(s)",
+         "answered", "c^2-approx ok"),
+        rows,
+    )
+    reporter(
+        "cascade",
+        banner(
+            f"c-ANNS radius ladder (sect. 5.2): {len(e2.radii)} levels, c={c}"
+        ) + "\n" + table,
+        capsys,
+    )
+    # The sharing claim: one LCCS index, with far fewer hash functions
+    # than the ladder of E2LSH structures.
+    assert lc.total_hash_functions < e2.total_hash_functions
+    assert lc_hits >= e2_hits - 2
+
+    q = queries[0]
+    benchmark(lambda: lc.query(q, k=1))

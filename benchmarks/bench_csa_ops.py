@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the CSA data structure (paper §3, Theorem 3.1).
+
+Not a paper figure, but the evidence behind the paper's core claim that
+k-LCCS search via CSA is "as efficient as hash table lookups": we time
+CSA construction, k-LCCS queries, and the brute-force scan it replaces,
+and check the query scales far below the scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CircularShiftArray, brute_force_k_lccs
+from repro.eval import banner, format_table
+
+from conftest import BENCH_N
+
+
+@pytest.fixture(scope="module")
+def strings():
+    rng = np.random.default_rng(7)
+    return rng.integers(0, 16, size=(BENCH_N, 64))
+
+
+@pytest.fixture(scope="module")
+def csa(strings):
+    return CircularShiftArray(strings)
+
+
+def test_csa_build(strings, benchmark):
+    result = benchmark(lambda: CircularShiftArray(strings))
+    assert result.n == len(strings)
+
+
+def test_csa_k_lccs_query(csa, benchmark, reporter, capsys):
+    rng = np.random.default_rng(8)
+    q = rng.integers(0, 16, size=64)
+    ids, lens = benchmark(lambda: csa.k_lccs(q, 100))
+    assert len(ids) == 100
+    reporter(
+        "csa_ops",
+        banner("CSA micro-benchmarks")
+        + "\n"
+        + format_table(
+            ("n", "m", "index MB", "top LCCS len"),
+            [(csa.n, csa.m, csa.size_bytes() / 2**20, int(lens[0]))],
+        ),
+        capsys,
+    )
+
+
+def test_brute_force_reference(strings, benchmark):
+    """The O(nm) scan the CSA replaces — for the speedup headline."""
+    rng = np.random.default_rng(9)
+    q = rng.integers(0, 16, size=64)
+    sub = strings[:500]  # scan a slice; scale in the comparison
+    benchmark(lambda: brute_force_k_lccs(sub, q, 10))
+
+
+def test_csa_query_beats_scan(csa, strings):
+    """CSA answers k-LCCS far faster than the brute-force scan."""
+    import time
+
+    rng = np.random.default_rng(10)
+    q = rng.integers(0, 16, size=64)
+    t0 = time.perf_counter()
+    for _ in range(5):
+        csa.k_lccs(q, 10)
+    csa_time = (time.perf_counter() - t0) / 5
+    t0 = time.perf_counter()
+    brute_force_k_lccs(strings, q, 10)
+    scan_time = time.perf_counter() - t0
+    assert csa_time < scan_time / 5, (csa_time, scan_time)

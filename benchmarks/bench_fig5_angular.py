@@ -1,0 +1,52 @@
+"""Paper Figure 5: query time-recall curves, top-10 NNs, Angular.
+
+Same protocol as Figure 4 with the angular methods (cross-polytope
+families): LCCS-LSH, MP-LCCS-LSH, E2LSH (CP-adapted), FALCONN, C2LSH
+(CP-adapted).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LCCSLSH
+from repro.eval import (
+    banner,
+    format_curve,
+    pareto_frontier,
+    plot_time_recall,
+    time_at_recall,
+)
+
+from conftest import DATASETS, get_bundle
+from figures import ANGULAR_METHODS, run_all_sweeps
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_time_recall(dataset, benchmark, reporter, capsys):
+    results = run_all_sweeps(dataset, "angular")
+    lines = [banner(f"Figure 5 [{dataset}]: time-recall, top-10, Angular")]
+    frontiers = {}
+    for method in ANGULAR_METHODS:
+        frontier = pareto_frontier(results[method])
+        points = [(r.recall * 100.0, r.avg_query_time_ms) for r in frontier]
+        frontiers[method] = points
+        lines.append(format_curve(method, points))
+    lines.append("")
+    lines.append(plot_time_recall(frontiers))
+    lines.append("")
+    for method in ANGULAR_METHODS:
+        best = time_at_recall(results[method], 0.5)
+        status = f"{best.avg_query_time_ms:.3f} ms" if best else "not reached"
+        lines.append(f"  time@50%recall {method:<18} {status}")
+    reporter(f"fig5_{dataset}", "\n".join(lines), capsys)
+
+    lccs = time_at_recall(results["LCCS-LSH"], 0.5)
+    assert lccs is not None, "LCCS-LSH must reach 50% recall"
+
+    _, data, queries, gt = get_bundle(dataset, "angular")
+    index = LCCSLSH(
+        dim=data.shape[1], m=32, metric="angular", cp_dim=16, seed=1
+    ).fit(data)
+    q = queries[0]
+    benchmark(lambda: index.query(q, k=10, num_candidates=200))

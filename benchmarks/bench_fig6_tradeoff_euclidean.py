@@ -1,0 +1,57 @@
+"""Paper Figure 6: query time vs index size / indexing time at 50% recall
+(Euclidean).
+
+For every method we take the sweep behind Figure 4 and report, per index
+configuration, the cheapest query time that reaches 50% recall together
+with the configuration's index size and build time — the two scatter
+plots of Figure 6.  Reproduction target: MP-LCCS-LSH dominates LCCS-LSH
+at small memory; E2LSH needs the largest index; C2LSH/QALSH/SRS are
+small but slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import banner, format_table
+
+from conftest import DATASETS
+from figures import EUCLIDEAN_METHODS, run_all_sweeps
+
+RECALL_LEVEL = 0.5
+
+
+def tradeoff_rows(results_by_method, methods):
+    rows = []
+    for method in methods:
+        # Group by build params (index identity = size/build time).
+        by_build = {}
+        for r in results_by_method[method]:
+            key = (round(r.index_size_mb, 3), round(r.build_time_s, 4))
+            if r.recall >= RECALL_LEVEL:
+                cur = by_build.get(key)
+                if cur is None or r.avg_query_time_ms < cur.avg_query_time_ms:
+                    by_build[key] = r
+        for (size_mb, build_s), r in sorted(by_build.items()):
+            rows.append(
+                (method, size_mb, build_s, r.avg_query_time_ms, r.recall * 100.0)
+            )
+        if not by_build:
+            rows.append((method, float("nan"), float("nan"), float("nan"), 0.0))
+    return rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_indexing_tradeoff(dataset, benchmark, reporter, capsys):
+    results = run_all_sweeps(dataset, "euclidean")
+    rows = tradeoff_rows(results, EUCLIDEAN_METHODS)
+    table = format_table(
+        ("method", "size(MB)", "build(s)", "time@50%(ms)", "recall%"), rows
+    )
+    reporter(
+        f"fig6_{dataset}",
+        banner(f"Figure 6 [{dataset}]: query time vs index size / indexing time "
+               f"at 50% recall, Euclidean") + "\n" + table,
+        capsys,
+    )
+    benchmark(lambda: tradeoff_rows(results, EUCLIDEAN_METHODS))

@@ -1,0 +1,31 @@
+"""Paper Figure 7: query time vs index size / indexing time at 50% recall
+(Angular).
+
+Angular counterpart of Figure 6, over the Figure 5 sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import banner, format_table
+
+from conftest import DATASETS
+from figures import ANGULAR_METHODS, run_all_sweeps
+from bench_fig6_tradeoff_euclidean import tradeoff_rows
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_indexing_tradeoff(dataset, benchmark, reporter, capsys):
+    results = run_all_sweeps(dataset, "angular")
+    rows = tradeoff_rows(results, ANGULAR_METHODS)
+    table = format_table(
+        ("method", "size(MB)", "build(s)", "time@50%(ms)", "recall%"), rows
+    )
+    reporter(
+        f"fig7_{dataset}",
+        banner(f"Figure 7 [{dataset}]: query time vs index size / indexing time "
+               f"at 50% recall, Angular") + "\n" + table,
+        capsys,
+    )
+    benchmark(lambda: tradeoff_rows(results, ANGULAR_METHODS))

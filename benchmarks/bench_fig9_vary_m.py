@@ -1,0 +1,51 @@
+"""Paper Figure 9: impact of the hash-string length m for LCCS-LSH (Sift).
+
+For m in {8, 16, 32, 64, 128} we sweep the candidate budget and print
+the time-recall frontier per m, for Euclidean and Angular distance.
+Reproduction target: larger m buys lower time at high recall, with
+diminishing returns (an optimal m per recall level).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LCCSLSH
+from repro.eval import banner, format_curve, grid, pareto_frontier, sweep
+
+from conftest import get_bundle, suggest_w
+
+M_VALUES = (8, 16, 32, 64, 128)
+CANDIDATES = (25, 100, 400, 1600)
+
+
+@pytest.mark.parametrize("metric", ["euclidean", "angular"])
+def test_fig9_impact_of_m(metric, benchmark, reporter, capsys):
+    name, data, queries, gt = get_bundle("sift", metric)
+    dim = data.shape[1]
+    if metric == "euclidean":
+        factory = lambda m: LCCSLSH(dim=dim, m=m, w=suggest_w(gt), seed=1)
+    else:
+        factory = lambda m: LCCSLSH(
+            dim=dim, m=m, metric="angular", cp_dim=16, seed=1
+        )
+    lines = [banner(f"Figure 9 [sift-{metric}]: impact of m for LCCS-LSH")]
+    best_recall = {}
+    for m in M_VALUES:
+        results = sweep(
+            factory, grid(m=[m]), data, queries, gt, k=10,
+            query_grid=grid(num_candidates=list(CANDIDATES)),
+        )
+        frontier = pareto_frontier(results)
+        points = [(r.recall * 100.0, r.avg_query_time_ms) for r in frontier]
+        lines.append(format_curve(f"m={m}", points))
+        best_recall[m] = max(r.recall for r in results)
+    reporter(f"fig9_sift_{metric}", "\n".join(lines), capsys)
+
+    # Every m reaches a usable operating point; the per-m trade-off
+    # curves printed above are the figure's content.
+    assert all(r >= 0.5 for r in best_recall.values()), best_recall
+
+    index = factory(64).fit(data)
+    q = queries[0]
+    benchmark(lambda: index.query(q, k=10, num_candidates=100))

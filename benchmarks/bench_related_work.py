@@ -1,0 +1,90 @@
+"""Extension experiment: LCCS-LSH vs the related-work linearisations (§7).
+
+The paper argues (Related Work) that the CSA generalises LSH-Forest's
+prefix trees, SK-LSH's sorted compound keys, and LSB-Forest's Z-order
+curves, because every position of the circular hash string starts a
+usable order — "virtually building more trees".  This bench makes that
+comparison concrete: same hash budget (m = K*L hash functions), same
+candidate budgets, time-recall frontier per method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LCCSLSH
+from repro.baselines import LSBForest, LSHForest, SKLSH
+from repro.eval import (
+    banner,
+    format_curve,
+    grid,
+    pareto_frontier,
+    plot_time_recall,
+    sweep,
+)
+
+from conftest import get_bundle, suggest_w
+
+TOTAL_FUNCTIONS = 64  # shared hash budget across methods
+
+
+def test_related_work_comparison(benchmark, reporter, capsys):
+    _, data, queries, gt = get_bundle("sift", "euclidean")
+    dim = data.shape[1]
+    w = suggest_w(gt)
+    sweeps = {
+        "LCCS-LSH": (
+            lambda: LCCSLSH(dim=dim, m=TOTAL_FUNCTIONS, w=w, seed=1),
+            grid(),
+            grid(num_candidates=[50, 200, 800]),
+        ),
+        "LSH-Forest": (
+            lambda: LSHForest(
+                dim=dim, K_max=TOTAL_FUNCTIONS // 8, L=8, w=w, seed=1
+            ),
+            grid(),
+            grid(candidates=[50, 200, 800]),
+        ),
+        "SK-LSH": (
+            lambda: SKLSH(dim=dim, K=TOTAL_FUNCTIONS // 8, L=8, w=w, seed=1),
+            grid(),
+            grid(probes_per_table=[8, 32, 128]),
+        ),
+        "LSB-Forest": (
+            lambda: LSBForest(
+                dim=dim, K=TOTAL_FUNCTIONS // 8, L=8, w=w, seed=1
+            ),
+            grid(),
+            grid(probes_per_table=[8, 32, 128]),
+        ),
+    }
+    lines = [
+        banner(
+            f"Related-work comparison [sift]: {TOTAL_FUNCTIONS} hash "
+            "functions per method"
+        )
+    ]
+    frontiers = {}
+    best_recall = {}
+    for method, (factory, build_grid, query_grid) in sweeps.items():
+        results = sweep(
+            factory, build_grid, data, queries, gt, k=10, query_grid=query_grid
+        )
+        frontier = pareto_frontier(results)
+        points = [(r.recall * 100.0, r.avg_query_time_ms) for r in frontier]
+        frontiers[method] = points
+        best_recall[method] = max(r.recall for r in results)
+        lines.append(format_curve(method, points))
+    lines.append("")
+    lines.append(plot_time_recall(frontiers))
+    reporter("related_work", "\n".join(lines), capsys)
+
+    # The CSA's reuse of every position should at least match the single
+    # linearisation schemes at their best recall.
+    assert best_recall["LCCS-LSH"] >= max(
+        best_recall["SK-LSH"], best_recall["LSB-Forest"]
+    ) - 0.1
+
+    index = LCCSLSH(dim=dim, m=TOTAL_FUNCTIONS, w=w, seed=1).fit(data)
+    q = queries[0]
+    benchmark(lambda: index.query(q, k=10, num_candidates=200))

@@ -1,0 +1,91 @@
+"""Paper Table 1: space/time complexities under the alpha knob.
+
+Two parts:
+
+1. Print the symbolic Table 1 rows (from ``repro.theory.complexity``).
+2. Empirically check the LCCS-LSH scaling they predict: at ``alpha = 1``
+   (``m = lambda = n^rho``) query time and index size must grow clearly
+   sublinearly in ``n``, while the ``alpha = 0`` setting degenerates to a
+   linear scan.  The printed ratios are the reproduction evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LCCSLSH
+from repro.data import compute_ground_truth, load_dataset
+from repro.eval import banner, evaluate, format_table
+from repro.theory import lccs_lambda_for_alpha, lccs_m_for_alpha, table1_rows
+
+from conftest import BENCH_QUERIES, suggest_w
+
+
+def test_table1_symbolic_and_empirical(benchmark, reporter, capsys):
+    sym = format_table(
+        ("Method", "alpha", "m", "lambda", "Space", "Indexing Time", "Query Time"),
+        [r.as_tuple() for r in table1_rows()],
+    )
+    rho = 0.5
+    sizes = (1500, 3000, 6000)
+    rows = []
+    evals = {}
+    for n in sizes:
+        ds = load_dataset("sift", n=n, n_queries=BENCH_QUERIES, seed=42)
+        gt = compute_ground_truth(ds.data, ds.queries, k=10, metric="euclidean")
+        w = suggest_w(gt)
+        for alpha in (0.0, 1.0):
+            m = max(8, lccs_m_for_alpha(n, rho, alpha, scale=1.0))
+            lam = lccs_lambda_for_alpha(n, rho, alpha, scale=2.0)
+            index = LCCSLSH(dim=ds.dim, m=m, w=w, seed=1)
+            res = evaluate(
+                index, ds.data, ds.queries, gt, k=10,
+                query_kwargs={"num_candidates": min(lam, n)},
+            )
+            evals[(n, alpha)] = res
+            rows.append(
+                (
+                    f"LCCS-LSH alpha={alpha:g}", n, m, min(lam, n),
+                    res.recall * 100.0, res.avg_query_time_ms,
+                    res.index_size_mb, res.build_time_s,
+                )
+            )
+    emp = format_table(
+        ("setting", "n", "m", "lambda", "recall%", "time(ms)", "size(MB)", "build(s)"),
+        rows,
+    )
+    # Scaling ratios across a 4x growth in n.
+    lines = []
+    for alpha in (0.0, 1.0):
+        t_ratio = (
+            evals[(sizes[-1], alpha)].avg_query_time_ms
+            / evals[(sizes[0], alpha)].avg_query_time_ms
+        )
+        lines.append(
+            f"alpha={alpha:g}: query time x{t_ratio:.2f} for n x{sizes[-1] / sizes[0]:.0f} "
+            f"(linear scan would be ~x{sizes[-1] / sizes[0]:.0f})"
+        )
+    reporter(
+        "table1",
+        banner("Table 1: complexities (symbolic + empirical scaling)")
+        + "\n" + sym + "\n\n" + emp + "\n" + "\n".join(lines),
+        capsys,
+    )
+    # alpha=1 must scale sublinearly vs the alpha=0 (linear) reference.
+    t1 = (
+        evals[(sizes[-1], 1.0)].avg_query_time_ms
+        / evals[(sizes[0], 1.0)].avg_query_time_ms
+    )
+    t0 = (
+        evals[(sizes[-1], 0.0)].avg_query_time_ms
+        / evals[(sizes[0], 0.0)].avg_query_time_ms
+    )
+    assert t1 < t0 * 1.5, "alpha=1 should scale no worse than the linear regime"
+
+    ds = load_dataset("sift", n=sizes[-1], n_queries=BENCH_QUERIES, seed=42)
+    gt = compute_ground_truth(ds.data, ds.queries, k=10, metric="euclidean")
+    index = LCCSLSH(
+        dim=ds.dim, m=lccs_m_for_alpha(sizes[-1], rho, 1.0), w=suggest_w(gt), seed=1
+    ).fit(ds.data)
+    q = ds.queries[0]
+    benchmark(lambda: index.query(q, k=10, num_candidates=100))

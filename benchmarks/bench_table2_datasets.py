@@ -1,0 +1,42 @@
+"""Paper Table 2: statistics of datasets and queries (simulated, scaled).
+
+Prints the same columns as the paper — #objects, #queries, d, data size,
+type — for the five simulated datasets, alongside the paper's original
+cardinalities for reference.  The benchmark times generation of the Sift
+stand-in (the dataset used by Figures 8-10).
+"""
+
+from __future__ import annotations
+
+from repro.data import DATASET_SPECS, load_dataset
+from repro.eval import banner, format_table
+
+from conftest import BENCH_N, BENCH_QUERIES, DATASETS
+
+
+def test_table2_dataset_statistics(benchmark, reporter, capsys):
+    rows = []
+    for name in DATASETS:
+        spec = DATASET_SPECS[name]
+        ds = load_dataset(name, n=BENCH_N, n_queries=BENCH_QUERIES, seed=42)
+        rows.append(
+            (
+                name,
+                ds.n,
+                ds.n_queries,
+                ds.dim,
+                f"{ds.size_bytes() / 2**20:.1f} MB",
+                spec.description.split(" (")[0],
+                f"{spec.paper_n:,}",
+            )
+        )
+    table = format_table(
+        ("Dataset", "#Objects", "#Queries", "d", "Data Size", "Type", "paper #Objects"),
+        rows,
+    )
+    reporter("table2", banner("Table 2: dataset and query statistics") + "\n" + table, capsys)
+
+    result = benchmark(
+        lambda: load_dataset("sift", n=BENCH_N, n_queries=BENCH_QUERIES, seed=42)
+    )
+    assert result.n == BENCH_N

@@ -1,0 +1,91 @@
+"""Shared benchmark infrastructure.
+
+Every bench module regenerates one table or figure of the paper at a
+scaled-down cardinality (the harness is pure Python; see DESIGN.md §4).
+Scale knobs:
+
+* ``REPRO_BENCH_N`` — base points per dataset (default 6000).
+* ``REPRO_BENCH_QUERIES`` — queries per dataset (default 20).
+
+Each bench prints the paper-style series with ``capsys.disabled`` so the
+rows appear on the terminal during ``pytest benchmarks/ --benchmark-only``,
+and also appends them to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import compute_ground_truth, load_dataset
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "6000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: datasets in the paper's order
+DATASETS = ("msong", "sift", "gist", "glove", "deep")
+
+
+@lru_cache(maxsize=None)
+def get_bundle(name: str, metric: str, n: int = BENCH_N, k: int = 10):
+    """(dataset, ground_truth) for a paper dataset under a metric, cached."""
+    ds = load_dataset(name, n=n, n_queries=BENCH_QUERIES, seed=42)
+    data, queries = ds.data, ds.queries
+    if metric == "angular":
+        # Angular experiments run on the normalised vectors (paper's
+        # cross-polytope setting requires the unit sphere).
+        norms = np.linalg.norm(data, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        data = data / norms
+        qnorms = np.linalg.norm(queries, axis=1, keepdims=True)
+        qnorms[qnorms == 0.0] = 1.0
+        queries = queries / qnorms
+    gt = compute_ground_truth(data, queries, k=k, metric=metric)
+    return ds.name, data, queries, gt
+
+
+def suggest_w(gt) -> float:
+    """Bucket width for the random projection family.
+
+    The paper fine-tunes ``w`` per dataset; a good operating point puts
+    the nearest neighbours' collision probability high, which happens
+    around a few times the mean true NN distance.
+    """
+    mean_nn = float(np.mean(gt.distances))
+    return max(mean_nn * 2.0, 1e-6)
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    """Print a report block to the live terminal and archive it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    class _Reporter:
+        def __call__(self, name: str, text: str, capsys=None) -> None:
+            out = f"\n{text}\n"
+            if capsys is not None:
+                with capsys.disabled():
+                    print(out)
+            else:
+                print(out)
+            with open(RESULTS_DIR / f"{name}.txt", "a") as f:
+                f.write(out)
+
+    return _Reporter()
+
+
+def frontier_series(results, bins=(0.25, 0.5, 0.75, 0.9, 0.95, 0.99)):
+    """(recall%, best time ms) pairs at the paper's recall levels."""
+    from repro.eval import time_at_recall
+
+    series = []
+    for level in bins:
+        best = time_at_recall(results, level)
+        if best is not None:
+            series.append((level * 100.0, best.avg_query_time_ms))
+    return series

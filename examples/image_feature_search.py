@@ -1,0 +1,66 @@
+"""Image-feature search: LCCS-LSH vs the paper's Euclidean baselines.
+
+The scenario from the paper's introduction: a million-scale image
+descriptor database (here: a scaled simulated SIFT corpus) needs
+sub-linear top-k retrieval.  We run LCCS-LSH, MP-LCCS-LSH, E2LSH,
+Multi-Probe LSH and C2LSH at comparable settings and print the accuracy
+/ time / memory table.
+
+Run:  python examples/image_feature_search.py
+"""
+
+import numpy as np
+
+from repro import LCCSLSH, MPLCCSLSH
+from repro.baselines import C2LSH, E2LSH, MultiProbeLSH
+from repro.data import compute_ground_truth, load_dataset
+from repro.eval import evaluate, format_results
+
+
+def main():
+    ds = load_dataset("sift", n=5000, n_queries=15, seed=11)
+    gt = compute_ground_truth(ds.data, ds.queries, k=10, metric="euclidean")
+    w = 2.0 * float(np.mean(gt.distances))
+    print(f"simulated SIFT corpus: n={ds.n}, d={ds.dim}, w={w:.1f}\n")
+
+    contenders = [
+        (
+            LCCSLSH(dim=ds.dim, m=64, w=w, seed=1),
+            {"num_candidates": 200},
+            {"m": 64},
+        ),
+        (
+            MPLCCSLSH(dim=ds.dim, m=16, w=w, seed=1, n_probes=65),
+            {"num_candidates": 200},
+            {"m": 16, "#probes": 65},
+        ),
+        (E2LSH(dim=ds.dim, K=4, L=32, w=w, seed=1), {}, {"K": 4, "L": 32}),
+        (
+            MultiProbeLSH(dim=ds.dim, K=8, L=8, w=w, n_probes=64, seed=1),
+            {},
+            {"K": 8, "L": 8, "#probes": 64},
+        ),
+        (
+            C2LSH(dim=ds.dim, m=32, l=6, w=w / 2, beta=0.04, seed=1),
+            {},
+            {"m": 32, "l": 6},
+        ),
+    ]
+    results = []
+    for index, query_kwargs, params in contenders:
+        results.append(
+            evaluate(
+                index, ds.data, ds.queries, gt, k=10,
+                query_kwargs=query_kwargs, params=params,
+            )
+        )
+    print(format_results(results))
+    print(
+        "\nNote the trade-off the paper reports: the LCCS schemes reach "
+        "high recall\nwhile verifying a small, LCCS-ranked candidate set; "
+        "MP-LCCS-LSH does so\nfrom a 4x smaller index than LCCS-LSH."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Streaming updates: DynamicLCCSLSH under insert/delete churn.
+
+The paper evaluates static indexes; real deployments see a stream of
+inserts and deletions.  This example runs the dynamic wrapper (pending
+buffer + tombstones + threshold-triggered rebuilds) through a churn
+workload and tracks accuracy and rebuild behaviour over time.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import numpy as np
+
+from repro import DynamicLCCSLSH
+from repro.data import compute_ground_truth, gaussian_clusters, split_queries
+from repro.eval import format_table, recall
+
+
+def main():
+    rng = np.random.default_rng(23)
+    raw = gaussian_clusters(6010, 32, n_clusters=25, cluster_std=0.1, seed=23)
+    raw, queries = split_queries(raw, 10, seed=24)
+    initial, stream = raw[:4000], raw[4000:]
+
+    index = DynamicLCCSLSH(
+        dim=32, m=32, w=1.0, seed=5, rebuild_threshold=0.1
+    ).fit(initial)
+    print(f"initial index: {index.live_count} points\n")
+
+    rows = []
+    inserted = []
+    for step in range(5):
+        # Insert a batch, delete a few old points.
+        batch = stream[step * 300 : (step + 1) * 300]
+        for v in batch:
+            inserted.append(index.insert(v))
+        victims = rng.choice(len(initial), size=30, replace=False)
+        deleted = 0
+        for h in victims:
+            try:
+                index.delete(int(h))
+                deleted += 1
+            except KeyError:
+                pass  # already deleted in an earlier step
+
+        # Measure recall against the current live set.
+        live_handles = [
+            h for h in range(4000 + len(inserted))
+            if h not in index._dead
+        ]
+        live = np.vstack([index.get_vector(h) for h in live_handles])
+        gt = compute_ground_truth(live, queries, k=10)
+        hits = 0.0
+        for i, q in enumerate(queries):
+            ids, _ = index.query(q, k=10, num_candidates=200)
+            truth = [live_handles[j] for j in gt.indices[i]]
+            hits += recall(ids, np.array(truth))
+        rows.append(
+            (
+                step + 1,
+                index.live_count,
+                index.buffer_size,
+                index.rebuilds,
+                f"{hits / len(queries):.1%}",
+            )
+        )
+    print(
+        format_table(
+            ("step", "live points", "buffer", "rebuilds", "recall@10"), rows
+        )
+    )
+    print(
+        "\nThe buffer stays below the rebuild threshold and recall holds "
+        "steady through churn;\neach rebuild folds the buffer and drops "
+        "tombstones back into the CSA."
+    )
+
+
+if __name__ == "__main__":
+    main()

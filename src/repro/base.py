@@ -1,0 +1,168 @@
+"""Common interface shared by LCCS-LSH and every baseline index.
+
+All approximate (and exact) nearest-neighbour indexes in this library
+implement :class:`ANNIndex`: ``fit(data)`` then ``query(q, k)`` returning
+``(ids, distances)`` sorted by ascending true distance.  The base class
+owns input validation, candidate verification against the raw vectors,
+wall-clock accounting, and machine-independent work counters (candidates
+verified, hash evaluations) that the benchmark harness reports alongside
+times.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.distances import pairwise
+
+__all__ = ["ANNIndex"]
+
+
+class ANNIndex(abc.ABC):
+    """Abstract nearest-neighbour index.
+
+    Subclasses implement ``_fit`` and ``_query``; the public ``fit`` /
+    ``query`` wrappers validate inputs, keep the raw data for candidate
+    verification, and record ``build_time`` and per-query statistics in
+    ``last_stats``.
+
+    Args:
+        dim: vector dimensionality the index accepts.
+        metric: distance metric name (see :mod:`repro.distances`).
+        seed: RNG seed for any randomised components.
+    """
+
+    #: human-readable method name, overridden by subclasses
+    name: str = "ann-index"
+
+    def __init__(self, dim: int, metric: str = "euclidean", seed: Optional[int] = None):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self.metric = metric
+        self.seed = seed
+        self.build_time: float = 0.0
+        self.last_stats: Dict[str, float] = {}
+        self._data: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of indexed points (0 before ``fit``)."""
+        return 0 if self._data is None else len(self._data)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._data is not None
+
+    def fit(self, data: np.ndarray) -> "ANNIndex":
+        """Build the index over ``data`` of shape ``(n, dim)``."""
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-d, got shape {data.shape}")
+        if data.shape[0] == 0:
+            raise ValueError("cannot index an empty dataset")
+        if data.shape[1] != self.dim:
+            raise ValueError(
+                f"data has dim {data.shape[1]}, index expects {self.dim}"
+            )
+        self._data = data
+        start = time.perf_counter()
+        self._fit(data)
+        self.build_time = time.perf_counter() - start
+        return self
+
+    def query(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate top-``k``: returns ``(ids, distances)``.
+
+        Both arrays are sorted by ascending distance and may be shorter
+        than ``k`` if the index surfaced fewer candidates.
+        """
+        if self._data is None:
+            raise RuntimeError("index must be fitted before querying")
+        q = np.asarray(q)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must have shape ({self.dim},), got {q.shape}")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.last_stats = {}
+        return self._query(q, k, **kwargs)
+
+    def batch_query(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Query every row; results padded with ``-1`` / ``inf`` to ``k``."""
+        queries = np.asarray(queries)
+        if queries.ndim != 2:
+            raise ValueError("queries must be 2-d")
+        ids = np.full((len(queries), k), -1, dtype=np.int64)
+        dists = np.full((len(queries), k), np.inf)
+        for i, q in enumerate(queries):
+            qi, qd = self.query(q, k, **kwargs)
+            ids[i, : len(qi)] = qi
+            dists[i, : len(qd)] = qd
+        return ids, dists
+
+    def index_size_bytes(self) -> int:
+        """Memory used by the *index structures* (excludes the raw data)."""
+        return 0
+
+    def save(self, path: str) -> None:
+        """Persist the fitted index (including the raw data) to ``path``."""
+        with open(path, "wb") as f:
+            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def load(path: str) -> "ANNIndex":
+        """Load an index previously written by :meth:`save`."""
+        with open(path, "rb") as f:
+            index = pickle.load(f)
+        if not isinstance(index, ANNIndex):
+            raise TypeError(f"{path} does not contain an ANNIndex")
+        return index
+
+    # ------------------------------------------------------------------
+    # Hooks and helpers for subclasses
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit(self, data: np.ndarray) -> None:
+        """Build index structures; ``data`` is already validated."""
+
+    @abc.abstractmethod
+    def _query(
+        self, q: np.ndarray, k: int, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer one validated query."""
+
+    def _verify(
+        self, candidate_ids: np.ndarray, q: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rank candidates by true distance and keep the best ``k``.
+
+        Updates ``last_stats['candidates']``; deduplicates ids; ties are
+        broken by id for determinism.
+        """
+        candidate_ids = np.unique(np.asarray(candidate_ids, dtype=np.int64))
+        self.last_stats["candidates"] = self.last_stats.get("candidates", 0.0) + len(
+            candidate_ids
+        )
+        if len(candidate_ids) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        dists = pairwise(self._data[candidate_ids], q, self.metric)
+        order = np.lexsort((candidate_ids, dists))[: min(k, len(candidate_ids))]
+        return candidate_ids[order], dists[order]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"n={self.n}" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(dim={self.dim}, metric={self.metric!r}, {state})"

@@ -1,0 +1,31 @@
+"""Every baseline the paper compares against, re-implemented from scratch."""
+
+from repro.baselines.c2lsh import C2LSH
+from repro.baselines.forest import LSHForest
+from repro.baselines.kdtree import KDTree
+from repro.baselines.lazylsh import LazyLSH
+from repro.baselines.linear_scan import LinearScan
+from repro.baselines.probing import Atom, probing_sequence
+from repro.baselines.qalsh import QALSH
+from repro.baselines.sorted_keys import LSBForest, SKLSH, zorder_interleave
+from repro.baselines.srs import SRS
+from repro.baselines.static import E2LSH, FALCONN, MultiProbeLSH, StaticConcatIndex
+
+__all__ = [
+    "Atom",
+    "C2LSH",
+    "E2LSH",
+    "FALCONN",
+    "KDTree",
+    "LSBForest",
+    "LazyLSH",
+    "LSHForest",
+    "LinearScan",
+    "MultiProbeLSH",
+    "QALSH",
+    "SKLSH",
+    "SRS",
+    "StaticConcatIndex",
+    "probing_sequence",
+    "zorder_interleave",
+]

@@ -1,0 +1,125 @@
+"""C2LSH: dynamic collision counting (Gan et al., SIGMOD'12).
+
+The paper's main dynamic baseline (§1).  ``m`` individual LSH functions
+each get their own hash table; an object is an NN candidate once it has
+collided with the query in at least ``l`` of them.  *Virtual rehashing*
+widens buckets geometrically (``h^R(o) = floor(h(o) / R)``,
+``R in {1, c, c^2, ...}``) until enough candidates are found, emulating
+the (R, c)-NNS cascade without rebuilding tables.
+
+Our collision counting is evaluated with vectorised numpy over the
+stored base codes instead of per-function dict lookups; the *work* the
+method does (its collision countings and verifications, reported in
+``last_stats``) is identical, which is what the paper's complexity
+argument — and its Figure 4/5 slowness — is about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.hashes import HashFamily, RandomProjectionFamily, make_family
+
+__all__ = ["C2LSH"]
+
+
+class C2LSH(ANNIndex):
+    """Dynamic collision counting index.
+
+    Args:
+        dim: vector dimensionality.
+        m: number of individual LSH functions / hash tables (paper sweeps
+            {8..512}).
+        l: collision threshold (paper sweeps {2..10}).
+        c: approximation ratio driving virtual rehashing (default 2).
+        beta: candidate budget fraction — stop once ``beta * n + k``
+            candidates were verified (paper uses 100/n, i.e. 100 extra).
+        metric/family/w/cp_dim/seed: as for the other indexes.
+    """
+
+    name = "C2LSH"
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 64,
+        l: int = 4,
+        c: float = 2.0,
+        beta: float = 0.01,
+        metric: str = "euclidean",
+        family: Optional[HashFamily] = None,
+        w: float = 1.0,
+        cp_dim: int = 32,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric, seed)
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if not 1 <= l <= m:
+            raise ValueError("collision threshold l must be in [1, m]")
+        if c <= 1.0:
+            raise ValueError("approximation ratio c must exceed 1")
+        if beta < 0.0:
+            raise ValueError("beta must be non-negative")
+        self.m = int(m)
+        self.l = int(l)
+        self.c = float(c)
+        self.beta = float(beta)
+        if family is not None:
+            if family.m != m:
+                raise ValueError(f"family must provide m={m} functions")
+            self.family = family
+            self.metric = family.metric
+        else:
+            self.family = make_family(metric, dim, m, seed=seed, w=w, cp_dim=cp_dim)
+        self.codes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.codes = self.family.hash(data)
+
+    def _query(
+        self, q: np.ndarray, k: int, max_rounds: int = 24
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        q_codes = self.family.hash(q)
+        budget = int(self.beta * self.n) + k
+        counted = 0
+        checked = np.zeros(self.n, dtype=bool)
+        candidates: list = []
+        radius = 1
+        supports_rehash = isinstance(self.family, RandomProjectionFamily)
+        for round_no in range(max_rounds):
+            if supports_rehash:
+                data_r = self.codes // radius
+                q_r = q_codes // radius
+            else:
+                # Discrete families (e.g. cross-polytope codes) have no
+                # meaningful bucket widening; only one counting round.
+                if round_no > 0:
+                    break
+                data_r, q_r = self.codes, q_codes
+            collisions = np.count_nonzero(data_r == q_r[None, :], axis=1)
+            counted += self.n
+            hits = np.flatnonzero((collisions >= self.l) & ~checked)
+            checked[hits] = True
+            candidates.extend(hits.tolist())
+            if len(candidates) >= budget:
+                break
+            radius = max(radius + 1, int(round(radius * self.c)))
+            if radius > (1 << 40):
+                break
+        self.last_stats["collision_countings"] = float(counted)
+        self.last_stats["rounds"] = float(round_no + 1)
+        if not candidates:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return self._verify(np.array(candidates[: budget], dtype=np.int64), q, k)
+
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        codes_bytes = 0 if self.codes is None else self.codes.nbytes
+        return int(self.family.size_bytes() + codes_bytes)

@@ -1,0 +1,157 @@
+"""LSH-Forest (Bawa et al., WWW'05) — related-work baseline (paper §7).
+
+The paper positions LCCS-LSH as an extension of LSH-Forest: both replace
+the fixed concatenation length ``K`` with the *longest matching prefix*
+of a hash sequence, but the CSA "can reuse the hash values in every
+position [so] it carries more information than sequence[s]" — i.e. one
+CSA virtually builds ``m`` forests for the price of one.
+
+Implementation: each of the ``L`` trees assigns every point a length-
+``K_max`` label (one LSH function per level).  Instead of an explicit
+trie we keep the labels in lexicographic order per tree; descending the
+trie is a sequence of in-range binary searches that narrow the block of
+points sharing the query's prefix, level by level.  A query collects
+candidates from the deepest non-empty blocks across trees, widening
+(ascending) until the candidate budget is met — exactly the synchronous
+descend/ascend of the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.hashes import HashFamily, make_family
+
+__all__ = ["LSHForest"]
+
+
+class LSHForest(ANNIndex):
+    """LSH-Forest with ``L`` trees of depth up to ``K_max``.
+
+    Args:
+        dim: vector dimensionality.
+        K_max: maximum label length (tree depth).
+        L: number of trees.
+        candidates: candidate budget per query (the original paper's
+            ``M``); defaults to ``8 * k`` at query time if ``None``.
+        metric/family/w/cp_dim: as for the other indexes.
+        seed: RNG seed.
+    """
+
+    name = "LSH-Forest"
+
+    def __init__(
+        self,
+        dim: int,
+        K_max: int = 16,
+        L: int = 8,
+        candidates: Optional[int] = None,
+        metric: str = "euclidean",
+        family: Optional[HashFamily] = None,
+        w: float = 4.0,
+        cp_dim: int = 32,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric, seed)
+        if K_max <= 0 or L <= 0:
+            raise ValueError("K_max and L must be positive")
+        if candidates is not None and candidates <= 0:
+            raise ValueError("candidates must be positive")
+        self.K_max = int(K_max)
+        self.L = int(L)
+        self.candidates = candidates
+        if family is not None:
+            if family.m != K_max * L:
+                raise ValueError(
+                    f"family must provide m=K_max*L={K_max * L} functions"
+                )
+            self.family = family
+            self.metric = family.metric
+        else:
+            self.family = make_family(
+                metric, dim, K_max * L, seed=seed, w=w, cp_dim=cp_dim
+            )
+        self.labels: Optional[np.ndarray] = None  # (L, n, K_max)
+        self.orders: Optional[np.ndarray] = None  # (L, n) lexicographic order
+        self._sorted_labels: Optional[np.ndarray] = None  # labels[orders]
+
+    # ------------------------------------------------------------------
+
+    def _fit(self, data: np.ndarray) -> None:
+        codes = self.family.hash(data)  # (n, K_max * L)
+        n = len(data)
+        self.labels = np.empty((self.L, n, self.K_max), dtype=np.int64)
+        self.orders = np.empty((self.L, n), dtype=np.int64)
+        for t in range(self.L):
+            block = codes[:, t * self.K_max : (t + 1) * self.K_max]
+            self.labels[t] = block
+            # np.lexsort sorts by the LAST key first.
+            self.orders[t] = np.lexsort(tuple(block[:, c] for c in range(
+                self.K_max - 1, -1, -1)))
+        self._sorted_labels = np.stack(
+            [self.labels[t][self.orders[t]] for t in range(self.L)]
+        )
+
+    def _descend(self, t: int, q_label: np.ndarray) -> List[Tuple[int, int, int]]:
+        """Blocks ``(depth, lo, hi)`` of points matching the query prefix.
+
+        Returns one entry per depth from 0 (all points) down to the
+        deepest non-empty prefix block, each narrowing the previous.
+        """
+        n = self.n
+        sorted_vals = self._sorted_labels[t]  # (n, K_max) sorted rows
+        lo, hi = 0, n
+        blocks = [(0, lo, hi)]
+        for depth in range(self.K_max):
+            col = sorted_vals[lo:hi, depth]
+            new_lo = lo + int(np.searchsorted(col, q_label[depth], side="left"))
+            new_hi = lo + int(np.searchsorted(col, q_label[depth], side="right"))
+            if new_lo >= new_hi:
+                break
+            lo, hi = new_lo, new_hi
+            blocks.append((depth + 1, lo, hi))
+        return blocks
+
+    def _query(
+        self, q: np.ndarray, k: int, candidates: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        budget = candidates or self.candidates or 8 * k
+        q_codes = self.family.hash(q)
+        per_tree = []
+        max_depth = 0
+        for t in range(self.L):
+            q_label = q_codes[t * self.K_max : (t + 1) * self.K_max]
+            blocks = self._descend(t, q_label)
+            per_tree.append(blocks)
+            max_depth = max(max_depth, blocks[-1][0])
+        # Synchronous ascend: take points from the deepest blocks first,
+        # widening depth until the budget is met.  Order is preserved so
+        # truncation keeps the best (deepest-matching) candidates.
+        chosen: List[int] = []
+        seen: set = set()
+        for depth in range(max_depth, -1, -1):
+            for t, blocks in enumerate(per_tree):
+                match = [b for b in blocks if b[0] == depth]
+                if not match:
+                    continue
+                _, lo, hi = match[0]
+                for pid in self.orders[t][lo:hi].tolist():
+                    if pid not in seen:
+                        seen.add(pid)
+                        chosen.append(pid)
+            if len(chosen) >= budget:
+                break
+        self.last_stats["depth"] = float(max_depth)
+        ids = np.array(chosen[: max(budget, k)], dtype=np.int64)
+        return self._verify(ids, q, k)
+
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        extra = 0
+        if self.labels is not None:
+            extra = self.labels.nbytes + self.orders.nbytes
+        return int(self.family.size_bytes() + extra)

@@ -1,0 +1,135 @@
+"""A from-scratch kd-tree with *incremental* nearest-neighbour traversal.
+
+Substrate for the SRS baseline, which needs to enumerate points of a
+low-dimensional projected space in strictly ascending Euclidean distance
+from a query (SRS examines projected neighbours one by one and stops
+early).  The traversal is the classic best-first search over a shared
+min-heap of tree nodes (keyed by the minimum possible distance to their
+bounding box) and points (keyed by their exact distance).
+
+The tree is built once (median splits, cycling axes) and is read-only
+afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import heapq
+
+import numpy as np
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    """Internal kd-tree node over ``ids``; leaves keep their point ids."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    axis: int = -1
+    split: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    ids: Optional[np.ndarray] = None  # set on leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ids is not None
+
+
+class KDTree:
+    """Static kd-tree over ``(n, d)`` points with best-first enumeration.
+
+    Args:
+        points: the point matrix (kept by reference).
+        leaf_size: maximum points per leaf.
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 16):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.points = points
+        self.leaf_size = int(leaf_size)
+        self.n, self.d = points.shape
+        self.root = self._build(np.arange(self.n, dtype=np.int64), depth=0)
+
+    def _build(self, ids: np.ndarray, depth: int) -> _Node:
+        pts = self.points[ids]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        if len(ids) <= self.leaf_size:
+            return _Node(lo=lo, hi=hi, ids=ids)
+        # Split on the widest axis for balanced boxes.
+        axis = int(np.argmax(hi - lo))
+        vals = pts[:, axis]
+        median = float(np.median(vals))
+        mask = vals <= median
+        # Guard against degenerate splits (many duplicates at the median).
+        if mask.all() or not mask.any():
+            mask = vals < median
+            if mask.all() or not mask.any():
+                half = len(ids) // 2
+                order = np.argsort(vals, kind="stable")
+                mask = np.zeros(len(ids), dtype=bool)
+                mask[order[:half]] = True
+        node = _Node(lo=lo, hi=hi, axis=axis, split=median)
+        node.left = self._build(ids[mask], depth + 1)
+        node.right = self._build(ids[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _min_sqdist(node: _Node, q: np.ndarray) -> float:
+        """Squared distance from ``q`` to the node's bounding box."""
+        clipped = np.clip(q, node.lo, node.hi)
+        diff = q - clipped
+        return float(diff @ diff)
+
+    def iter_nearest(self, q: np.ndarray) -> Iterator[Tuple[int, float]]:
+        """Yield ``(point_id, distance)`` in ascending Euclidean distance."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.d,):
+            raise ValueError(f"query must have shape ({self.d},), got {q.shape}")
+        counter = 0
+        # Heap of (sq_dist, tiebreak, kind, payload); kind 0 = node, 1 = point.
+        heap: List[Tuple[float, int, int, object]] = [
+            (self._min_sqdist(self.root, q), counter, 0, self.root)
+        ]
+        while heap:
+            sqdist, _, kind, payload = heapq.heappop(heap)
+            if kind == 1:
+                yield int(payload), float(np.sqrt(sqdist))
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            if node.is_leaf:
+                diffs = self.points[node.ids] - q
+                sq = np.einsum("ij,ij->i", diffs, diffs)
+                for pid, s in zip(node.ids, sq):
+                    counter += 1
+                    heapq.heappush(heap, (float(s), counter, 1, int(pid)))
+            else:
+                for child in (node.left, node.right):
+                    counter += 1
+                    heapq.heappush(
+                        heap, (self._min_sqdist(child, q), counter, 0, child)
+                    )
+
+    def query(self, q: np.ndarray, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` by Euclidean distance (convenience wrapper)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ids: List[int] = []
+        dists: List[float] = []
+        for pid, dist in self.iter_nearest(q):
+            ids.append(pid)
+            dists.append(dist)
+            if len(ids) >= k:
+                break
+        return np.array(ids, dtype=np.int64), np.array(dists)

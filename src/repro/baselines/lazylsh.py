@@ -1,0 +1,157 @@
+"""LazyLSH-style index: one l1-based index, multiple lp query metrics.
+
+LazyLSH (Zheng et al., SIGMOD'16, paper ref [39]) extends the dynamic
+collision counting framework: a single query-aware index built in l1
+space answers approximate NN queries under *multiple* ``l_p`` metrics
+(``p in (0, 2]``), because collision counting over 1-stable projections
+is a valid filter for any equivalent norm.
+
+Our version follows the same recipe on top of this library's
+query-aware machinery (sorted Cauchy projections + window expansion,
+as in :class:`repro.baselines.qalsh.QALSH`): the *filter* always runs
+in l1 projection space; only the final verification uses the requested
+metric.  This is the scheme's headline behaviour — "lazy" sharing of
+one index across metrics — without the original's per-metric radius
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+
+__all__ = ["LazyLSH"]
+
+_SUPPORTED = ("euclidean", "manhattan")
+
+
+class LazyLSH(ANNIndex):
+    """Query-aware 1-stable index answering l1 and l2 queries.
+
+    Args:
+        dim: vector dimensionality.
+        m: number of Cauchy projections.
+        l: collision threshold.
+        w: base window width.
+        c: expansion ratio for virtual rehashing.
+        beta: candidate budget fraction.
+        seed: RNG seed.
+
+    The ``metric`` argument of :meth:`query` (default the constructor's
+    metric) selects the verification metric per query — the same fitted
+    index serves both.
+    """
+
+    name = "LazyLSH"
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 64,
+        l: int = 4,
+        w: float = 1.0,
+        c: float = 2.0,
+        beta: float = 0.01,
+        metric: str = "euclidean",
+        seed: Optional[int] = None,
+    ):
+        if metric not in _SUPPORTED:
+            raise ValueError(f"LazyLSH serves metrics {_SUPPORTED}, not {metric!r}")
+        super().__init__(dim, metric, seed)
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if not 1 <= l <= m:
+            raise ValueError("collision threshold l must be in [1, m]")
+        if w <= 0.0:
+            raise ValueError("window width w must be positive")
+        if c <= 1.0:
+            raise ValueError("expansion ratio c must exceed 1")
+        self.m = int(m)
+        self.l = int(l)
+        self.w = float(w)
+        self.c = float(c)
+        self.beta = float(beta)
+        rng = np.random.default_rng(seed)
+        self.proj = rng.standard_cauchy(size=(dim, m))
+        self.values: Optional[np.ndarray] = None  # (m, n) sorted projections
+        self.order: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def _fit(self, data: np.ndarray) -> None:
+        projections = (data @ self.proj).T
+        self.order = np.argsort(projections, axis=1).astype(np.int64)
+        self.values = np.take_along_axis(projections, self.order, axis=1)
+
+    def _query(
+        self,
+        q: np.ndarray,
+        k: int,
+        metric: Optional[str] = None,
+        max_rounds: int = 24,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        metric = metric or self.metric
+        if metric not in _SUPPORTED:
+            raise ValueError(f"LazyLSH serves metrics {_SUPPORTED}, not {metric!r}")
+        q_proj = q @ self.proj
+        n, m = self.n, self.m
+        starts = np.array(
+            [np.searchsorted(self.values[i], q_proj[i]) for i in range(m)]
+        )
+        left = starts.copy()
+        right = starts.copy()
+        counts = np.zeros(n, dtype=np.int64)
+        checked = np.zeros(n, dtype=bool)
+        candidates: list = []
+        budget = int(self.beta * n) + k
+        radius = 1.0
+        swept = 0
+        for _ in range(max_rounds):
+            half = self.w * radius / 2.0
+            for i in range(m):
+                lo, hi = q_proj[i] - half, q_proj[i] + half
+                vi, oi = self.values[i], self.order[i]
+                while left[i] > 0 and vi[left[i] - 1] >= lo:
+                    left[i] -= 1
+                    obj = oi[left[i]]
+                    counts[obj] += 1
+                    swept += 1
+                    if counts[obj] >= self.l and not checked[obj]:
+                        checked[obj] = True
+                        candidates.append(int(obj))
+                while right[i] < n and vi[right[i]] <= hi:
+                    obj = oi[right[i]]
+                    right[i] += 1
+                    counts[obj] += 1
+                    swept += 1
+                    if counts[obj] >= self.l and not checked[obj]:
+                        checked[obj] = True
+                        candidates.append(int(obj))
+            if len(candidates) >= budget:
+                break
+            if np.all(left == 0) and np.all(right == n):
+                break
+            radius *= self.c
+        self.last_stats["collision_countings"] = float(swept)
+        if not candidates:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        # Verification in the per-query metric: the "lazy" part.
+        saved = self.metric
+        try:
+            self.metric = metric
+            return self._verify(
+                np.array(candidates[:budget], dtype=np.int64), q, k
+            )
+        finally:
+            self.metric = saved
+
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        extra = 0
+        if self.values is not None:
+            extra = self.values.nbytes + self.order.nbytes
+        return int(self.proj.nbytes + extra)

@@ -1,0 +1,75 @@
+"""Query-directed probing sequences for static-concatenation tables.
+
+Implements the perturbation-set generator of Multi-Probe LSH (Lv et al.,
+VLDB'07), generalised so it also serves FALCONN-style cross-polytope
+tables: every (position, alternative) pair becomes an *atom* with an
+incremental cost; perturbation sets are subsets of atoms with distinct
+positions, enumerated in ascending total cost with the classic
+shift/expand min-heap.
+
+The generator is per-table; :class:`repro.baselines.static.StaticConcatIndex`
+merges the per-table streams globally by cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Atom", "probing_sequence"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One candidate modification of one concatenated hash position."""
+
+    position: int  # which of the K functions in the table
+    code: int  # replacement hash value
+    cost: float  # incremental score (0 = the unperturbed value)
+
+
+def probing_sequence(
+    atoms: Sequence[Atom],
+) -> Iterator[Tuple[float, Dict[int, int]]]:
+    """Yield ``(cost, {position: code})`` probes in ascending cost.
+
+    The first probe is always the empty perturbation at cost 0 (the home
+    bucket).  Subsequent probes are sets of atoms with pairwise distinct
+    positions.  Following Lv et al., sets over the cost-sorted atom list
+    are generated with *shift* (replace the last atom by the next one)
+    and *expand* (append the next atom); sets whose last atom collides
+    with an earlier position are not emitted but still expanded, so the
+    enumeration stays exhaustive and sorted.
+    """
+    # Dedupe identical (position, code) atoms, keeping the cheapest, so the
+    # enumeration never emits the same bucket twice.
+    cheapest: Dict[Tuple[int, int], Atom] = {}
+    for a in atoms:
+        key = (a.position, a.code)
+        if key not in cheapest or a.cost < cheapest[key].cost:
+            cheapest[key] = a
+    ordered = sorted(cheapest.values(), key=lambda a: (a.cost, a.position, a.code))
+    yield 0.0, {}
+    if not ordered:
+        return
+    prefix = np.array([a.cost for a in ordered], dtype=np.float64)
+    heap: List[Tuple[float, Tuple[int, ...]]] = [(prefix[0], (0,))]
+    while heap:
+        cost, idx_set = heapq.heappop(heap)
+        positions = [ordered[i].position for i in idx_set]
+        if len(set(positions)) == len(positions):
+            yield cost, {ordered[i].position: ordered[i].code for i in idx_set}
+        last = idx_set[-1]
+        if last + 1 < len(ordered):
+            # shift: replace the last atom with its successor
+            heapq.heappush(
+                heap,
+                (cost - prefix[last] + prefix[last + 1], idx_set[:-1] + (last + 1,)),
+            )
+            # expand: append the successor
+            heapq.heappush(
+                heap, (cost + prefix[last + 1], idx_set + (last + 1,))
+            )

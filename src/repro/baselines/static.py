@@ -1,0 +1,209 @@
+"""Static concatenating search framework (paper §1, "Prior Work").
+
+The E2LSH scheme: concatenate ``K`` i.i.d. LSH functions into a compound
+hash ``G``, build ``L`` independent hash tables, and look up the query's
+``L`` buckets.  :class:`StaticConcatIndex` implements the framework for
+*any* hash family, which is how the paper adapts E2LSH to angular
+distance (cross-polytope functions) for Figure 5.
+
+Multi-probe variants (Multi-Probe LSH, FALCONN) reuse the same tables
+but additionally probe perturbed buckets; probes are generated per table
+by :mod:`repro.baselines.probing` and consumed globally in ascending
+score, closest-first, as in Lv et al.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.baselines.probing import Atom, probing_sequence
+from repro.hashes import HashFamily, make_family
+
+__all__ = ["StaticConcatIndex", "E2LSH", "MultiProbeLSH", "FALCONN"]
+
+
+class StaticConcatIndex(ANNIndex):
+    """E2LSH-style index: ``L`` tables of ``K``-fold concatenated hashes.
+
+    Args:
+        dim: vector dimensionality.
+        K: number of concatenated LSH functions per table (compound hash).
+        L: number of hash tables.
+        metric: distance metric (chooses the default family).
+        family: optional pre-built family with ``m = K * L`` functions.
+        w / cp_dim / angular_family: forwarded to ``make_family``.
+        seed: RNG seed.
+    """
+
+    name = "E2LSH"
+
+    def __init__(
+        self,
+        dim: int,
+        K: int = 4,
+        L: int = 16,
+        metric: str = "euclidean",
+        family: Optional[HashFamily] = None,
+        w: float = 4.0,
+        cp_dim: int = 32,
+        angular_family: str = "cross_polytope",
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric, seed)
+        if K <= 0 or L <= 0:
+            raise ValueError("K and L must be positive")
+        self.K = int(K)
+        self.L = int(L)
+        if family is not None:
+            if family.m != K * L:
+                raise ValueError(
+                    f"family must provide m=K*L={K * L} functions, got {family.m}"
+                )
+            self.family = family
+            self.metric = family.metric
+        else:
+            self.family = make_family(
+                metric, dim, K * L, seed=seed, w=w, cp_dim=cp_dim,
+                angular_family=angular_family,
+            )
+        self.tables: List[Dict[bytes, List[int]]] = []
+        self._n_buckets = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bucket_key(codes: np.ndarray) -> bytes:
+        return codes.astype(np.int64).tobytes()
+
+    def _fit(self, data: np.ndarray) -> None:
+        codes = self.family.hash(data)  # (n, K*L)
+        self.tables = []
+        self._n_buckets = 0
+        for t in range(self.L):
+            block = codes[:, t * self.K : (t + 1) * self.K]
+            table: Dict[bytes, List[int]] = {}
+            for i in range(len(block)):
+                table.setdefault(self._bucket_key(block[i]), []).append(i)
+            self.tables.append(table)
+            self._n_buckets += len(table)
+
+    # ------------------------------------------------------------------
+
+    def _probe_stream(
+        self, q: np.ndarray, n_probes: int
+    ) -> Iterator[Tuple[int, bytes]]:
+        """Yield up to ``n_probes`` ``(table, bucket_key)`` pairs.
+
+        The first ``L`` probes are the home buckets; with multi-probing
+        enabled (``n_probes > L``) the per-table perturbation streams are
+        merged globally in ascending score.
+        """
+        if n_probes <= self.L or not self.family.supports_probing:
+            codes = self.family.hash(q)
+            for t in range(min(self.L, n_probes)):
+                yield t, self._bucket_key(codes[t * self.K : (t + 1) * self.K])
+            return
+        codes, alternatives = self.family.query_alternatives(q)
+        streams = []
+        for t in range(self.L):
+            atoms = []
+            for i in range(self.K):
+                alt_codes, alt_scores = alternatives[t * self.K + i]
+                for c, s in zip(alt_codes, alt_scores):
+                    atoms.append(Atom(i, int(c), float(s)))
+            streams.append(probing_sequence(atoms))
+        # Global best-first merge of the per-table streams.
+        heap = []
+        for t, stream in enumerate(streams):
+            try:
+                cost, mods = next(stream)
+            except StopIteration:
+                continue
+            heap.append((cost, t, mods))
+        heapq.heapify(heap)
+        emitted = 0
+        while heap and emitted < n_probes:
+            cost, t, mods = heapq.heappop(heap)
+            block = codes[t * self.K : (t + 1) * self.K].copy()
+            for pos, code in mods.items():
+                block[pos] = code
+            yield t, self._bucket_key(block)
+            emitted += 1
+            try:
+                ncost, nmods = next(streams[t])
+            except StopIteration:
+                continue
+            heapq.heappush(heap, (ncost, t, nmods))
+
+    def _query(
+        self, q: np.ndarray, k: int, n_probes: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if n_probes is None:
+            n_probes = self.L
+        if n_probes <= 0:
+            raise ValueError("n_probes must be positive")
+        candidates: List[int] = []
+        probes = 0
+        for t, key in self._probe_stream(q, n_probes):
+            probes += 1
+            candidates.extend(self.tables[t].get(key, ()))
+        self.last_stats["probes"] = float(probes)
+        return self._verify(np.array(candidates, dtype=np.int64), q, k)
+
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        # ids (8B each) per table plus per-bucket key storage (K int64).
+        table_bytes = self.L * self.n * 8 + self._n_buckets * (self.K * 8 + 48)
+        return int(self.family.size_bytes() + table_bytes)
+
+
+class E2LSH(StaticConcatIndex):
+    """Plain E2LSH: home buckets only (paper's E2LSH baseline)."""
+
+    name = "E2LSH"
+
+    def _query(self, q, k, n_probes=None):
+        # E2LSH never multi-probes; ignore larger requests.
+        return super()._query(q, k, n_probes=self.L)
+
+
+class MultiProbeLSH(StaticConcatIndex):
+    """Multi-Probe LSH (Lv et al.): random projection tables + probing.
+
+    ``n_probes`` counts probed buckets across all tables (the home
+    buckets come first).
+    """
+
+    name = "Multi-Probe LSH"
+
+    def __init__(self, dim: int, K: int = 4, L: int = 8, n_probes: int = 32, **kw):
+        kw.setdefault("metric", "euclidean")
+        super().__init__(dim, K=K, L=L, **kw)
+        if n_probes <= 0:
+            raise ValueError("n_probes must be positive")
+        self.n_probes = int(n_probes)
+
+    def _query(self, q, k, n_probes=None):
+        return super()._query(q, k, n_probes=n_probes or self.n_probes)
+
+
+class FALCONN(StaticConcatIndex):
+    """FALCONN-style index: cross-polytope tables + vertex multi-probing."""
+
+    name = "FALCONN"
+
+    def __init__(self, dim: int, K: int = 1, L: int = 8, n_probes: int = 32, **kw):
+        kw.setdefault("metric", "angular")
+        kw.setdefault("angular_family", "cross_polytope")
+        super().__init__(dim, K=K, L=L, **kw)
+        if n_probes <= 0:
+            raise ValueError("n_probes must be positive")
+        self.n_probes = int(n_probes)
+
+    def _query(self, q, k, n_probes=None):
+        return super()._query(q, k, n_probes=n_probes or self.n_probes)

@@ -1,0 +1,274 @@
+"""Command-line interface: quick experiments without writing code.
+
+Subcommands:
+
+* ``datasets`` — print the (simulated) paper Table 2 statistics.
+* ``compare`` — evaluate a set of methods on one dataset and print the
+  recall / ratio / time / size table.
+* ``theory`` — collision probabilities and Theorem 5.1's lambda for a
+  parameter setting.
+
+Examples::
+
+    python -m repro.cli datasets --n 2000
+    python -m repro.cli compare --dataset sift --n 3000 --metric euclidean
+    python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import DATASET_SPECS, load_dataset
+    from repro.eval import format_table
+
+    rows = []
+    for name, spec in DATASET_SPECS.items():
+        ds = load_dataset(name, n=args.n, n_queries=args.queries, seed=args.seed)
+        rows.append(
+            (
+                name, ds.n, ds.n_queries, ds.dim,
+                f"{ds.size_bytes() / 2**20:.1f} MB",
+                spec.description,
+            )
+        )
+    print(
+        format_table(
+            ("Dataset", "#Objects", "#Queries", "d", "Data Size", "Type"), rows
+        )
+    )
+    return 0
+
+
+_METHOD_CHOICES = (
+    "lccs", "mp-lccs", "e2lsh", "multiprobe", "falconn", "c2lsh",
+    "qalsh", "srs", "scan",
+)
+
+
+def _build_method(name: str, dim: int, metric: str, w: float, seed: int):
+    from repro import LCCSLSH, MPLCCSLSH
+    from repro.baselines import (
+        C2LSH, E2LSH, FALCONN, LinearScan, MultiProbeLSH, QALSH, SRS,
+    )
+
+    angular = metric == "angular"
+    if name == "lccs":
+        index = (
+            LCCSLSH(dim=dim, m=64, metric="angular", cp_dim=16, seed=seed)
+            if angular
+            else LCCSLSH(dim=dim, m=64, w=w, seed=seed)
+        )
+        return index, {"num_candidates": 200}
+    if name == "mp-lccs":
+        index = (
+            MPLCCSLSH(
+                dim=dim, m=32, metric="angular", cp_dim=16, seed=seed,
+                n_probes=33,
+            )
+            if angular
+            else MPLCCSLSH(dim=dim, m=32, w=w, seed=seed, n_probes=33)
+        )
+        return index, {"num_candidates": 200}
+    if name == "e2lsh":
+        index = (
+            E2LSH(dim=dim, K=1, L=32, metric="angular", cp_dim=16, seed=seed)
+            if angular
+            else E2LSH(dim=dim, K=4, L=32, w=w, seed=seed)
+        )
+        return index, {}
+    if name == "multiprobe":
+        return (
+            MultiProbeLSH(dim=dim, K=8, L=8, w=w, n_probes=64, seed=seed),
+            {},
+        )
+    if name == "falconn":
+        return FALCONN(dim=dim, K=1, L=16, cp_dim=16, n_probes=64, seed=seed), {}
+    if name == "c2lsh":
+        index = (
+            C2LSH(dim=dim, m=32, l=3, metric="angular", cp_dim=16,
+                  beta=0.05, seed=seed)
+            if angular
+            else C2LSH(dim=dim, m=32, l=6, w=w / 2, beta=0.05, seed=seed)
+        )
+        return index, {}
+    if name == "qalsh":
+        return QALSH(dim=dim, m=32, l=6, w=1.0, beta=0.05, seed=seed), {}
+    if name == "srs":
+        return SRS(dim=dim, d_proj=6, c=2.0, max_fraction=0.05, seed=seed), {}
+    if name == "scan":
+        return LinearScan(dim=dim, metric=metric), {}
+    raise ValueError(f"unknown method {name!r}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.data import compute_ground_truth, load_dataset
+    from repro.distances import normalize_rows
+    from repro.eval import evaluate, format_results
+
+    ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    data, queries = ds.data, ds.queries
+    if args.metric == "angular":
+        data = normalize_rows(data)
+        queries = normalize_rows(queries)
+    gt = compute_ground_truth(data, queries, k=args.k, metric=args.metric)
+    w = 2.0 * float(np.mean(gt.distances))
+    methods = args.methods.split(",")
+    invalid = [m for m in methods if m not in _METHOD_CHOICES]
+    if invalid:
+        print(
+            f"unknown methods: {invalid}; choices: {list(_METHOD_CHOICES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.metric == "angular":
+        unsupported = {"multiprobe", "qalsh", "srs"}
+        bad = [m for m in methods if m in unsupported]
+        if bad:
+            print(
+                f"{bad} support Euclidean only; pick other methods",
+                file=sys.stderr,
+            )
+            return 2
+    results = []
+    for name in methods:
+        index, query_kwargs = _build_method(
+            name, ds.dim, args.metric, w, args.seed
+        )
+        results.append(
+            evaluate(
+                index, data, queries, gt, k=args.k,
+                query_kwargs=query_kwargs, params={"method": name},
+            )
+        )
+    print(f"dataset={args.dataset} n={len(data)} d={ds.dim} "
+          f"metric={args.metric} k={args.k}\n")
+    print(format_results(results))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import LCCSLSH
+    from repro.data import compute_ground_truth, load_dataset
+    from repro.eval import format_table
+    from repro.eval.profiler import profile_query
+
+    ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    gt = compute_ground_truth(ds.data, ds.queries, k=10, metric="euclidean")
+    w = 2.0 * float(np.mean(gt.distances))
+    index = LCCSLSH(dim=ds.dim, m=args.m, w=w, seed=args.seed).fit(ds.data)
+    rows = []
+    for lam in args.candidates:
+        profs = [
+            profile_query(index, q, k=10, num_candidates=lam)
+            for q in ds.queries
+        ]
+        rows.append(
+            (
+                lam,
+                float(np.mean([p.hash_ms for p in profs])),
+                float(np.mean([p.search_ms for p in profs])),
+                float(np.mean([p.merge_ms for p in profs])),
+                float(np.mean([p.verify_ms for p in profs])),
+                float(np.mean([p.total_ms for p in profs])),
+            )
+        )
+    print(f"dataset={args.dataset} n={ds.n} d={ds.dim} m={args.m}\n")
+    print(
+        format_table(
+            ("lambda", "hash(ms)", "search(ms)", "merge(ms)",
+             "verify(ms)", "total(ms)"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.theory import (
+        exact_cdf, median_length, rho, theorem51_lambda,
+    )
+
+    r = rho(args.p1, args.p2)
+    lam = theorem51_lambda(args.m, args.n, args.p1, args.p2)
+    med1 = median_length(args.m, args.p1)
+    med2 = median_length(args.m, args.p2)
+    print(
+        format_table(
+            ("quantity", "value"),
+            [
+                ("rho = ln(1/p1)/ln(1/p2)", f"{r:.4f}"),
+                ("Theorem 5.1 lambda", f"{lam:.1f}"),
+                ("median |LCCS| at p1 (approx)", f"{med1:.2f}"),
+                ("median |LCCS| at p2 (approx)", f"{med2:.2f}"),
+                ("exact P(|LCCS| <= median_p1) at p1",
+                 f"{exact_cdf(args.m, args.p1, int(med1)):.4f}"),
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LCCS-LSH reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="print simulated Table 2 statistics")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--queries", type=int, default=20)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("compare", help="evaluate methods on a dataset")
+    p.add_argument("--dataset", default="sift")
+    p.add_argument("--n", type=int, default=3000)
+    p.add_argument("--queries", type=int, default=15)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--metric", choices=("euclidean", "angular"), default="euclidean")
+    p.add_argument(
+        "--methods",
+        default="lccs,mp-lccs,e2lsh",
+        help=f"comma list from {','.join(_METHOD_CHOICES)}",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("profile", help="per-phase query time breakdown")
+    p.add_argument("--dataset", default="sift")
+    p.add_argument("--n", type=int, default=3000)
+    p.add_argument("--queries", type=int, default=10)
+    p.add_argument("--m", type=int, default=32)
+    p.add_argument(
+        "--candidates", type=int, nargs="+", default=[25, 100, 400]
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("theory", help="collision/lambda calculations")
+    p.add_argument("--m", type=int, default=64)
+    p.add_argument("--n", type=int, default=100_000)
+    p.add_argument("--p1", type=float, default=0.9)
+    p.add_argument("--p2", type=float, default=0.5)
+    p.set_defaults(func=_cmd_theory)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

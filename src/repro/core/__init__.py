@@ -1,0 +1,42 @@
+"""The paper's contribution: LCCS, the CSA index, LCCS-LSH, MP-LCCS-LSH."""
+
+from repro.core.cascade import E2LSHCascade, LCCSCascade, radius_ladder
+from repro.core.csa import CircularShiftArray, ShiftBounds
+from repro.core.dynamic import DynamicLCCSLSH
+from repro.core.naive_csa import NaiveCSA
+from repro.core.lccs import (
+    brute_force_k_lccs,
+    compare_rotations,
+    lccs_length,
+    lccs_positions,
+    lcp_length,
+    shift,
+)
+from repro.core.lccs_lsh import LCCSLSH
+from repro.core.mp_lccs_lsh import MPLCCSLSH
+from repro.core.perturbation import (
+    PerturbationVector,
+    generate_perturbation_vectors,
+    score_of,
+)
+
+__all__ = [
+    "CircularShiftArray",
+    "DynamicLCCSLSH",
+    "E2LSHCascade",
+    "LCCSCascade",
+    "NaiveCSA",
+    "LCCSLSH",
+    "MPLCCSLSH",
+    "PerturbationVector",
+    "ShiftBounds",
+    "brute_force_k_lccs",
+    "compare_rotations",
+    "generate_perturbation_vectors",
+    "lccs_length",
+    "lccs_positions",
+    "lcp_length",
+    "radius_ladder",
+    "score_of",
+    "shift",
+]

@@ -1,0 +1,173 @@
+"""c-ANNS via a ladder of (R, c)-NNS structures (paper §2.1 and §5.2).
+
+The classical reduction: a c-ANNS data structure is assembled from
+(R, c)-NNS decision structures at radii ``R in {R_min, c*R_min, ...}``
+and queried bottom-up — the first level that returns a point within
+``c * R`` yields a ``c^2``-approximate answer (the standard analysis;
+the extra factor is absorbed by the ladder granularity).
+
+Section 5.2's point is the asymmetry of this reduction between
+frameworks:
+
+* **E2LSH** must *build one index per radius*, because the concatenation
+  width ``K = ceil(ln n / ln(1/p2(R)))`` depends on ``R`` — the ladder
+  multiplies the index cost (``E2LSHCascade``).
+* **LCCS-LSH** serves every radius from a *single* CSA, because ``R``
+  only enters through the candidate budget ``lambda`` of Theorem 5.1
+  (``LCCSCascade`` simply calls :meth:`LCCSLSH.query_rc` per level).
+
+``benchmarks/bench_cascade.py`` measures exactly this build/size gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.baselines.static import E2LSH
+from repro.core.lccs_lsh import LCCSLSH
+from repro.theory.collision import rp_collision_probability
+
+__all__ = ["radius_ladder", "E2LSHCascade", "LCCSCascade"]
+
+
+def radius_ladder(r_min: float, r_max: float, c: float) -> List[float]:
+    """Radii ``{r_min, c*r_min, ...}`` covering ``[r_min, r_max]``."""
+    if r_min <= 0.0 or r_max < r_min:
+        raise ValueError("need 0 < r_min <= r_max")
+    if c <= 1.0:
+        raise ValueError("approximation ratio c must exceed 1")
+    ladder = [r_min]
+    while ladder[-1] < r_max:
+        ladder.append(ladder[-1] * c)
+    return ladder
+
+
+class E2LSHCascade(ANNIndex):
+    """c-ANNS from per-radius E2LSH structures (the §2.1 reduction).
+
+    Every ladder level gets its own E2LSH index whose ``K`` follows the
+    textbook setting ``K = ceil(ln n / ln(1/p2))`` with ``p2`` the
+    collision probability at ``c * R`` under bucket width ``w = c * R``.
+
+    Args:
+        dim: vector dimensionality.
+        r_min / r_max: radius range the cascade covers.
+        c: approximation ratio (also the ladder step).
+        L: hash tables per level.
+        seed: RNG seed.
+    """
+
+    name = "E2LSH-cascade"
+
+    def __init__(
+        self,
+        dim: int,
+        r_min: float,
+        r_max: float,
+        c: float = 2.0,
+        L: int = 8,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric="euclidean", seed=seed)
+        self.c = float(c)
+        self.L = int(L)
+        self.radii = radius_ladder(r_min, r_max, c)
+        self.levels: List[E2LSH] = []
+
+    def _level_K(self, R: float, n: int) -> int:
+        w = self.c * R
+        p2 = rp_collision_probability(self.c * R, w)
+        p2 = min(max(p2, 1e-6), 1.0 - 1e-6)
+        return max(1, math.ceil(math.log(max(n, 2)) / math.log(1.0 / p2)))
+
+    def _fit(self, data: np.ndarray) -> None:
+        n = len(data)
+        self.levels = []
+        for i, R in enumerate(self.radii):
+            K = self._level_K(R, n)
+            level = E2LSH(
+                dim=self.dim,
+                K=K,
+                L=self.L,
+                w=self.c * R,
+                seed=None if self.seed is None else self.seed + i,
+            )
+            level.fit(data)
+            self.levels.append(level)
+
+    def _query(self, q: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Bottom-up ladder walk; returns the first level's verified hits."""
+        probed = 0
+        for R, level in zip(self.radii, self.levels):
+            ids, dists = level.query(q, k)
+            probed += 1
+            within = dists <= self.c * R
+            if within.any():
+                self.last_stats["levels_probed"] = float(probed)
+                return ids[within][:k], dists[within][:k]
+        self.last_stats["levels_probed"] = float(probed)
+        return np.empty(0, dtype=np.int64), np.empty(0)
+
+    def index_size_bytes(self) -> int:
+        return int(sum(level.index_size_bytes() for level in self.levels))
+
+    @property
+    def total_hash_functions(self) -> int:
+        return sum(level.K * level.L for level in self.levels)
+
+
+class LCCSCascade(ANNIndex):
+    """c-ANNS from ONE LCCS-LSH index queried per ladder level (§5.2).
+
+    The same CSA answers every radius: each level only changes the
+    candidate budget through Theorem 5.1 (see ``LCCSLSH.query_rc``).
+    """
+
+    name = "LCCS-cascade"
+
+    def __init__(
+        self,
+        dim: int,
+        r_min: float,
+        r_max: float,
+        c: float = 2.0,
+        m: int = 64,
+        w: float = 4.0,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric="euclidean", seed=seed)
+        self.c = float(c)
+        self.radii = radius_ladder(r_min, r_max, c)
+        self.inner = LCCSLSH(dim=dim, m=m, metric="euclidean", w=w, seed=seed)
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.inner.fit(data)
+
+    def _query(self, q: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        probed = 0
+        for R in self.radii:
+            probed += 1
+            hit = self.inner.query_rc(q, R=R, c=self.c)
+            if hit is not None:
+                # Expand the decision answer to top-k at this level's budget.
+                lam = self.inner.theoretical_candidates(R, self.c)
+                ids, dists = self.inner.query(
+                    q, k=k, num_candidates=max(lam, k)
+                )
+                within = dists <= self.c * R
+                if within.any():
+                    self.last_stats["levels_probed"] = float(probed)
+                    return ids[within][:k], dists[within][:k]
+        self.last_stats["levels_probed"] = float(probed)
+        return np.empty(0, dtype=np.int64), np.empty(0)
+
+    def index_size_bytes(self) -> int:
+        return int(self.inner.index_size_bytes())
+
+    @property
+    def total_hash_functions(self) -> int:
+        return self.inner.m

@@ -1,0 +1,418 @@
+"""Circular Shift Array (CSA) — the paper's index for k-LCCS search.
+
+Paper §3.2, Algorithms 1 and 2.  Given ``n`` strings of length ``m``
+(here: integer hash strings), the CSA stores, for every shift
+``s in {0..m-1}``, the ids of the strings sorted by their ``s``-rotation
+(``I_s``, the *sorted indices*) together with *next links* ``N_s`` that
+map a rank in ``I_s`` to the rank of the same string in ``I_{s+1}``.
+
+A k-LCCS query performs one full binary search on ``I_0`` and then, per
+shift, a binary search *windowed* through the next links whenever the
+previous shift matched at least one character on both bounds
+(Lemma 3.1 / Corollary 3.2).  A 2m-way merge by a max-heap on LCP length
+then emits strings in exactly non-increasing order of LCCS length.
+
+Construction uses rank doubling over all ``n*m`` rotations (the
+numpy-friendly equivalent of Algorithm 1's ``m`` comparison sorts): after
+``ceil(log2 m)`` rounds of two-key lexsorts every rotation has a dense
+rank, and ``I_s`` is an argsort of the rank column ``s``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lccs import compare_rotations, lcp_length
+
+__all__ = ["ShiftBounds", "CircularShiftArray"]
+
+
+@dataclass(frozen=True)
+class ShiftBounds:
+    """Binary-search result at one shift (paper's pos/len bookkeeping).
+
+    ``pos_lower``/``pos_upper`` are ranks in ``I_s`` of the paper's
+    ``T_l`` (largest rotation <= query) and ``T_u`` (smallest rotation >
+    query); -1 / n mark "does not exist".  ``len_lower``/``len_upper``
+    are the corresponding LCP lengths (0 when the bound does not exist).
+    """
+
+    pos_lower: int
+    pos_upper: int
+    len_lower: int
+    len_upper: int
+
+
+class CircularShiftArray:
+    """Index over circular shifts of equal-length integer strings.
+
+    Args:
+        strings: ``(n, m)`` integer array; row ``i`` is string ``T_i``.
+
+    Attributes:
+        n: number of strings.
+        m: string length.
+        sorted_idx: ``(m, n)`` — ``sorted_idx[s]`` is the paper's ``I_{s+1}``
+            (string ids ordered by their ``s``-rotation).
+        next_link: ``(m, n)`` — ``next_link[s][j]`` is the rank in
+            ``sorted_idx[(s+1) % m]`` of the string at rank ``j`` of
+            ``sorted_idx[s]`` (the paper's ``N``).
+    """
+
+    def __init__(self, strings: np.ndarray):
+        strings = np.ascontiguousarray(strings)
+        if strings.ndim != 2:
+            raise ValueError(f"strings must be (n, m), got shape {strings.shape}")
+        if strings.shape[0] == 0 or strings.shape[1] == 0:
+            raise ValueError("strings must be non-empty in both dimensions")
+        if not np.issubdtype(strings.dtype, np.integer):
+            raise TypeError("CSA requires integer hash strings")
+        self.n, self.m = strings.shape
+        self.strings = strings
+        # Doubled copies give O(1) zero-copy access to any rotation.
+        self._doubled = np.concatenate([strings, strings], axis=1)
+        self.sorted_idx, self.next_link = self._build()
+
+    # ------------------------------------------------------------------
+    # Construction (paper Algorithm 1, via rank doubling)
+    # ------------------------------------------------------------------
+
+    def _build(self) -> Tuple[np.ndarray, np.ndarray]:
+        n, m = self.n, self.m
+        # Dense initial ranks of single characters.
+        _, inv = np.unique(self.strings.ravel(), return_inverse=True)
+        rank = inv.reshape(n, m).astype(np.int64)
+        width = 1
+        while width < m:
+            second = np.roll(rank, -width, axis=1)  # rank of rotation s+width
+            first_flat = rank.ravel()
+            second_flat = second.ravel()
+            order = np.lexsort((second_flat, first_flat))
+            f_sorted = first_flat[order]
+            s_sorted = second_flat[order]
+            changed = np.empty(n * m, dtype=bool)
+            changed[0] = False
+            changed[1:] = (f_sorted[1:] != f_sorted[:-1]) | (
+                s_sorted[1:] != s_sorted[:-1]
+            )
+            dense = np.cumsum(changed)
+            new_rank = np.empty(n * m, dtype=np.int64)
+            new_rank[order] = dense
+            rank = new_rank.reshape(n, m)
+            width *= 2
+        idx_dtype = np.int32 if n < 2**31 else np.int64
+        sorted_idx = np.empty((m, n), dtype=idx_dtype)
+        for s in range(m):
+            sorted_idx[s] = np.argsort(rank[:, s], kind="stable")
+        next_link = np.empty((m, n), dtype=idx_dtype)
+        inv_pos = np.empty(n, dtype=idx_dtype)
+        for s in range(m):
+            nxt = (s + 1) % m
+            inv_pos[sorted_idx[nxt]] = np.arange(n, dtype=idx_dtype)
+            next_link[s] = inv_pos[sorted_idx[s]]
+        return sorted_idx, next_link
+
+    # ------------------------------------------------------------------
+    # Rotation access
+    # ------------------------------------------------------------------
+
+    def rotation(self, string_id: int, s: int) -> np.ndarray:
+        """Zero-copy view of ``shift(T_{string_id}, s)``."""
+        return self._doubled[string_id, s : s + self.m]
+
+    @staticmethod
+    def query_rotations(query: np.ndarray) -> np.ndarray:
+        """Doubled query so ``doubled[s:s+m]`` is ``shift(Q, s)``."""
+        query = np.asarray(query)
+        return np.concatenate([query, query])
+
+    # ------------------------------------------------------------------
+    # Binary search (full and windowed)
+    # ------------------------------------------------------------------
+
+    def binary_search(
+        self,
+        s: int,
+        q_rot: np.ndarray,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> ShiftBounds:
+        """Locate the query rotation within ``sorted_idx[s][lo:hi]``.
+
+        Returns the paper's ``(pos_l, pos_u, len_l, len_u)``.  ``lo``/``hi``
+        implement ``BinarySearchBetween`` (Corollary 3.2); callers must
+        guarantee the true bounds fall inside the window.
+        """
+        n = self.n
+        if hi is None:
+            hi = n
+        idx = self.sorted_idx[s]
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) // 2
+            cmp, _ = compare_rotations(self.rotation(int(idx[mid]), s), q_rot)
+            if cmp <= 0:
+                left = mid + 1
+            else:
+                right = mid
+        pos_upper = left
+        pos_lower = left - 1
+        len_lower = 0
+        len_upper = 0
+        if pos_lower >= 0:
+            len_lower = lcp_length(self.rotation(int(idx[pos_lower]), s), q_rot)
+        if pos_upper < n:
+            len_upper = lcp_length(self.rotation(int(idx[pos_upper]), s), q_rot)
+        return ShiftBounds(pos_lower, pos_upper, len_lower, len_upper)
+
+    def batch_binary_search(
+        self, shifts: np.ndarray, q_rots: np.ndarray
+    ) -> List[ShiftBounds]:
+        """Many independent binary searches, advanced in lock-step.
+
+        ``shifts[b]`` selects the sorted index and ``q_rots[b]`` is the
+        (already rotated) query for search ``b``.  All searches bisect
+        simultaneously so every step is one vectorised comparison over a
+        ``(B, m)`` block — the work-horse of the multi-probe scheme,
+        where hundreds of (probe, shift) searches are issued per query.
+        """
+        shifts = np.asarray(shifts, dtype=np.int64)
+        q_rots = np.ascontiguousarray(q_rots)
+        B = len(shifts)
+        if q_rots.shape != (B, self.m):
+            raise ValueError(
+                f"q_rots must have shape ({B}, {self.m}), got {q_rots.shape}"
+            )
+        n, m = self.n, self.m
+        offsets = np.arange(m, dtype=np.int64)
+        lo = np.zeros(B, dtype=np.int64)
+        hi = np.full(B, n, dtype=np.int64)
+        rows_idx = np.empty(B, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) // 2
+            rows_idx[active] = self.sorted_idx[
+                shifts[active], mid[active]
+            ].astype(np.int64)
+            rows = self._doubled[
+                rows_idx[active][:, None], shifts[active][:, None] + offsets
+            ]
+            qr = q_rots[active]
+            neq = rows != qr
+            has_neq = neq.any(axis=1)
+            first = np.argmax(neq, axis=1)
+            take = np.arange(len(rows))
+            less = rows[take, first] < qr[take, first]
+            # row <= query  <=>  equal or first differing char smaller
+            le = ~has_neq | less
+            act_idx = np.flatnonzero(active)
+            lo[act_idx[le]] = mid[act_idx[le]] + 1
+            hi[act_idx[~le]] = mid[act_idx[~le]]
+        pos_upper = lo
+        pos_lower = lo - 1
+        len_lower = np.zeros(B, dtype=np.int64)
+        len_upper = np.zeros(B, dtype=np.int64)
+        for which, pos, out in (
+            ("lower", pos_lower, len_lower),
+            ("upper", pos_upper, len_upper),
+        ):
+            valid = (pos >= 0) & (pos < n)
+            if valid.any():
+                ids = self.sorted_idx[shifts[valid], pos[valid]].astype(np.int64)
+                rows = self._doubled[
+                    ids[:, None], shifts[valid][:, None] + offsets
+                ]
+                neq = rows != q_rots[valid]
+                has_neq = neq.any(axis=1)
+                first = np.argmax(neq, axis=1)
+                out[valid] = np.where(has_neq, first, m)
+        return [
+            ShiftBounds(
+                int(pos_lower[b]), int(pos_upper[b]),
+                int(len_lower[b]), int(len_upper[b]),
+            )
+            for b in range(B)
+        ]
+
+    def search_all_shifts(self, query: np.ndarray) -> List[ShiftBounds]:
+        """Phase 1 of Algorithm 2: bounds at every shift.
+
+        One full binary search at shift 0; afterwards the search range on
+        shift ``s`` is narrowed through the next links whenever both LCP
+        lengths at shift ``s-1`` are >= 1 (Lemma 3.1).
+        """
+        query = np.asarray(query)
+        if query.shape != (self.m,):
+            raise ValueError(
+                f"query must have length m={self.m}, got shape {query.shape}"
+            )
+        qd = self.query_rotations(query)
+        bounds: List[ShiftBounds] = []
+        prev: Optional[ShiftBounds] = None
+        for s in range(self.m):
+            q_rot = qd[s : s + self.m]
+            if (
+                prev is not None
+                and prev.len_lower >= 1
+                and prev.len_upper >= 1
+            ):
+                window_lo = int(self.next_link[s - 1][prev.pos_lower])
+                window_hi = int(self.next_link[s - 1][prev.pos_upper])
+                if window_lo > window_hi:  # defensive; cannot happen per Lemma 3.1
+                    window_lo, window_hi = 0, self.n - 1
+                b = self.binary_search(s, q_rot, lo=window_lo, hi=window_hi + 1)
+            else:
+                b = self.binary_search(s, q_rot)
+            bounds.append(b)
+            prev = b
+        return bounds
+
+    # ------------------------------------------------------------------
+    # k-LCCS search (paper Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def k_lccs(
+        self, query: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """ids and LCCS lengths of the ``k`` strings with longest LCCS.
+
+        Results are sorted by non-increasing LCCS length; the reported
+        length of each string is exactly ``|LCCS(T, Q)|``.  Fewer than
+        ``k`` results are returned only when ``k > n``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        bounds = self.search_all_shifts(np.asarray(query))
+        qd = self.query_rotations(np.asarray(query))
+        return self.merge_candidates(qd, bounds, k)
+
+    def frontier_entries(
+        self, qd: np.ndarray, bounds: Sequence[ShiftBounds]
+    ) -> List[Tuple[int, int, int, int, np.ndarray]]:
+        """Initial merge entries ``(len, shift, rank, direction, qd)``.
+
+        One entry per existing bound per shift; the multi-probe scheme
+        collects these across probes before a shared merge.
+        """
+        entries = []
+        for s, b in enumerate(bounds):
+            if b.pos_lower >= 0:
+                entries.append((b.len_lower, s, b.pos_lower, -1, qd))
+            if b.pos_upper < self.n:
+                entries.append((b.len_upper, s, b.pos_upper, +1, qd))
+        return entries
+
+    def merge_candidates(
+        self,
+        qd: np.ndarray,
+        bounds: Sequence[ShiftBounds],
+        k: int,
+        extra_entries: Optional[list] = None,
+        seen: Optional[set] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """2m-way merge: pop strings in non-increasing LCP order.
+
+        ``extra_entries``/``seen`` let the multi-probe scheme contribute
+        frontier entries from perturbed queries and share the dedupe set.
+        """
+        m, n = self.m, self.n
+        entries = self.frontier_entries(qd, bounds)
+        if extra_entries:
+            entries.extend(extra_entries)
+        # Dedupe frontier entries on (shift, rank): with multi-probing,
+        # many probes land on the same ranks; keeping the longest-LCP
+        # entry per position prevents redundant re-walks (the paper's
+        # Example 4.1 redundancy concern).
+        best_entry: dict = {}
+        for length, s, pos, direction, entry_qd in entries:
+            key = (s, pos, direction)
+            cur = best_entry.get(key)
+            if cur is None or length > cur[0]:
+                best_entry[key] = (length, s, pos, direction, entry_qd)
+        heap: list = []
+        counter = 0
+        visited = set()
+        for length, s, pos, direction, entry_qd in best_entry.values():
+            heap.append((-length, counter, s, pos, direction, entry_qd))
+            visited.add((s, pos))
+            counter += 1
+        heapq.heapify(heap)
+        if seen is None:
+            seen = set()
+        out_ids: List[int] = []
+        out_lens: List[int] = []
+        while heap and len(out_ids) < k:
+            neg_len, _, s, pos, direction, entry_qd = heapq.heappop(heap)
+            string_id = int(self.sorted_idx[s][pos])
+            if string_id not in seen:
+                seen.add(string_id)
+                out_ids.append(string_id)
+                out_lens.append(-neg_len)
+            npos = pos + direction
+            # Stop a walk when another walk already covers the position.
+            if 0 <= npos < n and (s, npos) not in visited:
+                visited.add((s, npos))
+                nid = int(self.sorted_idx[s][npos])
+                nlen = lcp_length(
+                    self.rotation(nid, s), entry_qd[s : s + m]
+                )
+                heapq.heappush(
+                    heap, (-nlen, counter, s, npos, direction, entry_qd)
+                )
+                counter += 1
+        return np.array(out_ids, dtype=np.int64), np.array(out_lens, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Memory footprint of the index structures (paper's index size)."""
+        return int(
+            self.strings.nbytes
+            + self._doubled.nbytes
+            + self.sorted_idx.nbytes
+            + self.next_link.nbytes
+        )
+
+    def save_npz(self, path: str) -> None:
+        """Persist the CSA arrays to a compressed ``.npz`` file.
+
+        Unlike pickle this format is stable across library versions and
+        inspectable with plain numpy — the database-friendly option.
+        """
+        np.savez_compressed(
+            path,
+            strings=self.strings,
+            sorted_idx=self.sorted_idx,
+            next_link=self.next_link,
+        )
+
+    @classmethod
+    def load_npz(cls, path: str) -> "CircularShiftArray":
+        """Load a CSA written by :meth:`save_npz` without re-sorting."""
+        with np.load(path) as payload:
+            for key in ("strings", "sorted_idx", "next_link"):
+                if key not in payload:
+                    raise ValueError(f"{path} is missing array {key!r}")
+            strings = payload["strings"]
+            sorted_idx = payload["sorted_idx"]
+            next_link = payload["next_link"]
+        obj = cls.__new__(cls)
+        obj.strings = np.ascontiguousarray(strings)
+        obj.n, obj.m = obj.strings.shape
+        if sorted_idx.shape != (obj.m, obj.n) or next_link.shape != (obj.m, obj.n):
+            raise ValueError(f"{path} has inconsistent array shapes")
+        obj._doubled = np.concatenate([obj.strings, obj.strings], axis=1)
+        obj.sorted_idx = sorted_idx
+        obj.next_link = next_link
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircularShiftArray(n={self.n}, m={self.m})"

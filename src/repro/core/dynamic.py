@@ -1,0 +1,176 @@
+"""Dynamic wrapper around LCCS-LSH: inserts, deletes, periodic rebuilds.
+
+The CSA is a static structure (sorted arrays + next links), like the
+suffix array it derives from.  Real database deployments still need
+updates, so this wrapper applies the standard static-to-dynamic recipe:
+
+* **inserts** land in an unindexed *pending buffer* that queries scan
+  linearly (exact, so fresh points are never missed);
+* **deletes** are tombstones filtered out of every result;
+* when the buffer outgrows ``rebuild_threshold`` (a fraction of the
+  indexed size) or tombstones outgrow half of it, the CSA is rebuilt
+  over the merged live set.
+
+This is an extension beyond the paper (which evaluates static indexes);
+it exercises the same public machinery and shows the cost model: queries
+pay ``O(|buffer| * d)`` extra until the next rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.core.lccs_lsh import LCCSLSH
+from repro.distances import pairwise
+
+__all__ = ["DynamicLCCSLSH"]
+
+
+class DynamicLCCSLSH(ANNIndex):
+    """LCCS-LSH with insert/delete support via buffering and rebuilds.
+
+    Args:
+        rebuild_threshold: rebuild when the pending buffer exceeds this
+            fraction of the indexed points (default 0.2).
+        (other arguments forwarded to :class:`LCCSLSH`)
+
+    Point ids are *stable handles*: the id returned by :meth:`insert`
+    (and used by :meth:`delete`) always refers to the same vector, across
+    rebuilds.
+    """
+
+    name = "Dynamic-LCCS-LSH"
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 64,
+        metric: str = "euclidean",
+        rebuild_threshold: float = 0.2,
+        **lccs_kwargs,
+    ):
+        super().__init__(dim, metric, lccs_kwargs.get("seed"))
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError("rebuild_threshold must be in (0, 1]")
+        self.rebuild_threshold = float(rebuild_threshold)
+        self._lccs_kwargs = dict(lccs_kwargs)
+        self._m = int(m)
+        self._inner: Optional[LCCSLSH] = None
+        self._vectors: Optional[np.ndarray] = None  # all ever-inserted rows
+        self._indexed_handles = np.empty(0, dtype=np.int64)
+        self._buffer_handles: List[int] = []
+        self._dead: set = set()
+        self.rebuilds = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of queryable (non-deleted) points."""
+        total = len(self._indexed_handles) + len(self._buffer_handles)
+        return total - len(self._dead)
+
+    @property
+    def buffer_size(self) -> int:
+        return len(self._buffer_handles)
+
+    def _fit(self, data: np.ndarray) -> None:
+        self._vectors = np.array(data, dtype=np.float64, copy=True)
+        self._indexed_handles = np.arange(len(data), dtype=np.int64)
+        self._buffer_handles = []
+        self._dead = set()
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        live = [h for h in self._indexed_handles if h not in self._dead]
+        live += [h for h in self._buffer_handles if h not in self._dead]
+        self._indexed_handles = np.array(sorted(live), dtype=np.int64)
+        self._buffer_handles = []
+        self._dead = set()
+        if len(self._indexed_handles) == 0:
+            # Everything was deleted: no CSA to build; queries fall back
+            # to the (empty) buffer scan until the next insert.
+            self._inner = None
+        else:
+            self._inner = LCCSLSH(
+                dim=self.dim, m=self._m, metric=self.metric, **self._lccs_kwargs
+            )
+            self._inner.fit(self._vectors[self._indexed_handles])
+        self.rebuilds += 1
+
+    # ------------------------------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Add one vector; returns its stable handle."""
+        if self._vectors is None:
+            raise RuntimeError("fit the index before inserting")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector must have shape ({self.dim},)")
+        handle = len(self._vectors)
+        self._vectors = np.vstack([self._vectors, vector[None, :]])
+        self._buffer_handles.append(handle)
+        self._data = self._vectors  # keep the base-class view in sync
+        self._maybe_rebuild()
+        return handle
+
+    def delete(self, handle: int) -> None:
+        """Tombstone a point by handle; raises KeyError if unknown/dead."""
+        if self._vectors is None or not 0 <= handle < len(self._vectors):
+            raise KeyError(f"unknown handle {handle}")
+        if handle in self._dead:
+            raise KeyError(f"handle {handle} already deleted")
+        self._dead.add(handle)
+        self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        indexed = max(1, len(self._indexed_handles))
+        if (
+            len(self._buffer_handles) > self.rebuild_threshold * indexed
+            or len(self._dead) > indexed // 2
+        ):
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+
+    def _query(
+        self, q: np.ndarray, k: int, num_candidates: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        pairs = []
+        if self._inner is not None:
+            inner_ids, inner_dists = self._inner._query(
+                q, min(k + len(self._dead), self._inner.n),
+                num_candidates=num_candidates,
+            )
+            self.last_stats.update(self._inner.last_stats)
+            # Translate inner positions to stable handles, drop tombstones.
+            pairs = [
+                (float(d), int(self._indexed_handles[i]))
+                for i, d in zip(inner_ids, inner_dists)
+                if int(self._indexed_handles[i]) not in self._dead
+            ]
+        # Exact scan of the pending buffer (it is small by construction).
+        for h in self._buffer_handles:
+            if h in self._dead:
+                continue
+            d = float(pairwise(self._vectors[h : h + 1], q, self.metric)[0])
+            pairs.append((d, h))
+        self.last_stats["buffer_scanned"] = float(len(self._buffer_handles))
+        pairs.sort()
+        top = pairs[:k]
+        ids = np.array([h for _, h in top], dtype=np.int64)
+        dists = np.array([d for d, _ in top])
+        return ids, dists
+
+    def index_size_bytes(self) -> int:
+        inner = self._inner.index_size_bytes() if self._inner else 0
+        return inner
+
+    def get_vector(self, handle: int) -> np.ndarray:
+        """The vector behind a handle (copies; raises KeyError if unknown)."""
+        if self._vectors is None or not 0 <= handle < len(self._vectors):
+            raise KeyError(f"unknown handle {handle}")
+        return self._vectors[handle].copy()

@@ -1,0 +1,145 @@
+"""Longest Circular Co-Substring (LCCS) — definitions and brute force.
+
+Paper §3.1.  A *circular co-substring* of two equal-length strings ``T``
+and ``Q`` is a run of positions ``i..j`` (allowed to wrap around the end)
+on which ``T`` and ``Q`` agree *position-wise*; the LCCS is the longest
+such run.  Equivalently (paper Fact 3.1):
+
+    ``|LCCS(T, Q)| = max_i |LCP(shift(T, i), shift(Q, i))|``
+
+The functions here are the straightforward ``O(m)``/``O(m^2)`` reference
+implementations.  They serve as the oracle for the CSA index
+(:mod:`repro.core.csa`) in tests, and as building blocks (``lcp``,
+``shift``, lexicographic comparison) inside the index itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "shift",
+    "lcp_length",
+    "compare_rotations",
+    "lccs_length",
+    "lccs_positions",
+    "brute_force_k_lccs",
+]
+
+
+def shift(t: np.ndarray, i: int) -> np.ndarray:
+    """Circular shift: ``shift(T, i) = [t_{i+1}, ..., t_m, t_1, ..., t_i]``.
+
+    Uses the paper's convention: ``shift(T, i)`` starts at (0-based)
+    position ``i % m``.
+    """
+    t = np.asarray(t)
+    m = len(t)
+    if m == 0:
+        raise ValueError("cannot shift an empty string")
+    i %= m
+    return np.concatenate([t[i:], t[:i]])
+
+
+def lcp_length(a: np.ndarray, b: np.ndarray) -> int:
+    """Length of the longest common prefix of two equal-length strings."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {b.shape}")
+    neq = a != b
+    idx = np.argmax(neq)
+    if not neq[idx]:
+        return len(a)
+    return int(idx)
+
+
+def compare_rotations(a: np.ndarray, b: np.ndarray) -> Tuple[int, int]:
+    """Lexicographically compare two equal-length strings.
+
+    Returns ``(cmp, lcp)`` where ``cmp`` is -1/0/+1 for ``a < b``,
+    ``a == b``, ``a > b`` and ``lcp`` is their common-prefix length.
+    A single pass shared by the CSA binary searches.
+    """
+    lcp = lcp_length(a, b)
+    if lcp == len(a):
+        return 0, lcp
+    return (-1 if a[lcp] < b[lcp] else 1), lcp
+
+
+def lccs_length(t: np.ndarray, q: np.ndarray) -> int:
+    """``|LCCS(T, Q)|``: longest circular run of position-wise matches.
+
+    Runs in ``O(m)`` by scanning the doubled match sequence (the circular
+    run equals the longest run in the doubled sequence, capped at ``m``).
+    """
+    t = np.asarray(t)
+    q = np.asarray(q)
+    if t.shape != q.shape:
+        raise ValueError(f"length mismatch: {t.shape} vs {q.shape}")
+    m = len(t)
+    if m == 0:
+        return 0
+    match = t == q
+    if match.all():
+        return m
+    doubled = np.concatenate([match, match])
+    best = run = 0
+    for v in doubled:
+        run = run + 1 if v else 0
+        if run > best:
+            best = run
+    return int(min(best, m))
+
+
+def lccs_positions(t: np.ndarray, q: np.ndarray) -> Tuple[int, int]:
+    """``(start, length)`` of one maximal circular co-substring.
+
+    ``start`` is the 0-based position where the longest run of matches
+    begins.  With ``length == 0`` (no matches at all) ``start`` is 0; with
+    ``length == m`` the strings are identical and ``start`` is 0.
+    """
+    t = np.asarray(t)
+    q = np.asarray(q)
+    if t.shape != q.shape:
+        raise ValueError(f"length mismatch: {t.shape} vs {q.shape}")
+    m = len(t)
+    if m == 0:
+        return 0, 0
+    match = t == q
+    if match.all():
+        return 0, m
+    doubled = np.concatenate([match, match])
+    best = run = 0
+    best_end = -1
+    for i, v in enumerate(doubled):
+        run = run + 1 if v else 0
+        if run > best:
+            best = run
+            best_end = i
+    if best == 0:
+        return 0, 0
+    best = min(best, m)
+    start = (best_end - best + 1) % m
+    return int(start), int(best)
+
+
+def brute_force_k_lccs(
+    strings: np.ndarray, query: np.ndarray, k: int
+) -> np.ndarray:
+    """Oracle k-LCCS search: ids of the ``k`` strings with longest LCCS.
+
+    Ties are broken by string id (ascending) for determinism; the CSA may
+    legally return any tie-equivalent answer set, so tests compare LCCS
+    *lengths*, not ids.
+    """
+    strings = np.asarray(strings)
+    if strings.ndim != 2:
+        raise ValueError("strings must be an (n, m) matrix")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    lengths = np.array([lccs_length(row, query) for row in strings])
+    order = np.lexsort((np.arange(len(strings)), -lengths))
+    return order[: min(k, len(strings))]

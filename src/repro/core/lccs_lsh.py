@@ -1,0 +1,155 @@
+"""Single-probe LCCS-LSH (paper §4.1).
+
+Indexing: hash every object with ``m`` i.i.d. LSH functions into a hash
+string ``H(o)``; build a Circular Shift Array over the strings.  Query:
+run a ``(lambda + k - 1)``-LCCS search of ``H(q)`` and verify candidates
+against the raw vectors, returning the closest ``k``.
+
+The only structural tuning knob is ``m`` (the paper's selling point);
+``num_candidates`` (the paper's ``lambda``) trades accuracy for query
+time and defaults to a small multiple of ``sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.core.csa import CircularShiftArray
+from repro.hashes import HashFamily, make_family
+
+__all__ = ["LCCSLSH"]
+
+
+class LCCSLSH(ANNIndex):
+    """Single-probe LCCS-LSH index.
+
+    Args:
+        dim: vector dimensionality.
+        m: hash-string length (number of LSH functions); the paper sweeps
+            ``m in {8, 16, ..., 512}``.
+        metric: distance metric; any metric with an LSH family
+            (``euclidean``, ``angular``, ``hamming``, ``jaccard``).
+        family: optional pre-built :class:`HashFamily`; overrides
+            ``metric``-based construction (this is what makes the scheme
+            LSH-family-independent).
+        w: bucket width when the random projection family is built.
+        cp_dim: cross-polytope dimension when that family is built.
+        seed: RNG seed.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro import LCCSLSH
+        >>> rng = np.random.default_rng(0)
+        >>> data = rng.normal(size=(1000, 32))
+        >>> index = LCCSLSH(dim=32, m=32, metric="euclidean", seed=0).fit(data)
+        >>> ids, dists = index.query(data[0], k=5)
+    """
+
+    name = "LCCS-LSH"
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 64,
+        metric: str = "euclidean",
+        family: Optional[HashFamily] = None,
+        w: float = 4.0,
+        cp_dim: int = 32,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, metric, seed)
+        if m <= 1:
+            raise ValueError("hash-string length m must exceed 1")
+        self.m = int(m)
+        if family is not None:
+            if family.dim != dim or family.m != m:
+                raise ValueError(
+                    f"family (dim={family.dim}, m={family.m}) does not match "
+                    f"index (dim={dim}, m={m})"
+                )
+            self.family = family
+            self.metric = family.metric
+        else:
+            self.family = make_family(
+                metric, dim, m, seed=seed, w=w, cp_dim=cp_dim
+            )
+        self.csa: Optional[CircularShiftArray] = None
+        self.hash_strings: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def _fit(self, data: np.ndarray) -> None:
+        self.hash_strings = self.family.hash(data)
+        self.csa = CircularShiftArray(self.hash_strings)
+
+    def default_candidates(self, k: int) -> int:
+        """Default ``lambda``: ``ceil(sqrt(n)) + k - 1``, clamped to n.
+
+        Theorem 5.1's exact ``lambda`` needs ``p1``/``p2`` for a target
+        radius; absent one, ``O(sqrt(n))`` matches the paper's
+        ``alpha = 1`` regime for ``rho = 1/2``.
+        """
+        return min(self.n, int(math.ceil(math.sqrt(self.n))) + k - 1)
+
+    def _query(
+        self, q: np.ndarray, k: int, num_candidates: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if num_candidates is None:
+            num_candidates = self.default_candidates(k)
+        if num_candidates <= 0:
+            raise ValueError("num_candidates must be positive")
+        # The paper's (lambda + k - 1)-LCCS search.
+        budget = min(self.n, num_candidates + k - 1)
+        query_string = self.family.hash(q)
+        cand_ids, lccs_lens = self.csa.k_lccs(query_string, budget)
+        self.last_stats["max_lccs"] = int(lccs_lens[0]) if len(lccs_lens) else 0
+        return self._verify(cand_ids, q, k)
+
+    # ------------------------------------------------------------------
+
+    def theoretical_candidates(self, R: float, c: float) -> int:
+        """Theorem 5.1's candidate budget ``lambda`` for an (R, c)-NNS.
+
+        Uses the family's closed-form collision probabilities at radii
+        ``R`` (-> p1) and ``cR`` (-> p2); the returned budget guarantees
+        success probability >= 1/4.  Clamped to ``[1, n]``.
+        """
+        from repro.theory import theorem51_lambda
+
+        if c <= 1.0:
+            raise ValueError("approximation ratio c must exceed 1")
+        p1 = self.family.collision_probability(R)
+        p2 = self.family.collision_probability(c * R)
+        if not 0.0 < p2 < p1 < 1.0:
+            # Degenerate radii (e.g. both collide almost surely): verify
+            # everything, which is always sound.
+            return max(1, self.n)
+        lam = theorem51_lambda(self.m, max(2, self.n), p1, p2)
+        return int(min(max(1.0, lam), self.n))
+
+    def query_rc(
+        self, q: np.ndarray, R: float, c: float
+    ) -> Optional[Tuple[int, float]]:
+        """Answer the (R, c)-NNS decision problem (paper Definition 2.2).
+
+        Returns ``(id, distance)`` of some point within ``cR`` of ``q``,
+        or ``None``.  Per Theorem 5.1, if a point within ``R`` exists the
+        answer is non-None with probability at least 1/4 when verifying
+        the theoretical ``lambda`` candidates (use repetitions to boost).
+        """
+        if R <= 0.0:
+            raise ValueError("search radius R must be positive")
+        lam = self.theoretical_candidates(R, c)
+        ids, dists = self.query(q, k=1, num_candidates=lam)
+        if len(ids) and dists[0] <= c * R:
+            return int(ids[0]), float(dists[0])
+        return None
+
+    def index_size_bytes(self) -> int:
+        if self.csa is None:
+            return self.family.size_bytes()
+        return self.family.size_bytes() + self.csa.size_bytes()

@@ -1,0 +1,159 @@
+"""Multi-probe LCCS-LSH (paper §4.2).
+
+MP-LCCS-LSH reduces indexing overhead by probing *perturbed* versions of
+the query hash string against the same CSA.  Per paper:
+
+1. **Perturbation vectors** come from Algorithm 3
+   (:mod:`repro.core.perturbation`), in ascending score order, with
+   family-specific alternatives/scores
+   (:meth:`repro.hashes.HashFamily.query_alternatives`).
+2. **Skip unaffected positions**: the initial search stores
+   ``(pos, len)`` bounds per shift; for a probe whose modifications are
+   at positions ``P``, only shifts ``s`` whose current match window
+   ``[s, s + max(len_l, len_u)]`` (circularly) covers some ``p in P`` are
+   re-searched — the others cannot change.
+3. All probes feed one max-heap on LCP length shared with the unperturbed
+   search, so candidates are still verified in best-first order and never
+   twice (paper's redundancy concern, Example 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.csa import ShiftBounds
+from repro.core.lccs_lsh import LCCSLSH
+from repro.core.perturbation import generate_perturbation_vectors
+
+__all__ = ["MPLCCSLSH"]
+
+
+class MPLCCSLSH(LCCSLSH):
+    """Multi-probe LCCS-LSH index.
+
+    Args:
+        n_probes: number of probes per query (including the unperturbed
+            one); the paper sweeps ``{1, m+1, 2m+1, 4m+1, 8m+1}``.  With
+            ``n_probes = 1`` the scheme degenerates to LCCS-LSH exactly.
+        max_gap: Algorithm 3's ``MAX_GAP`` (paper uses 2).
+        max_alternatives: alternatives requested per position from the
+            hash family.
+        (remaining arguments as for :class:`LCCSLSH`)
+    """
+
+    name = "MP-LCCS-LSH"
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 64,
+        metric: str = "euclidean",
+        n_probes: Optional[int] = None,
+        max_gap: int = 2,
+        max_alternatives: int = 8,
+        **kwargs,
+    ):
+        super().__init__(dim, m=m, metric=metric, **kwargs)
+        if not self.family.supports_probing:
+            raise ValueError(
+                f"{type(self.family).__name__} does not expose multi-probe "
+                "alternatives; use LCCSLSH instead"
+            )
+        if n_probes is None:
+            n_probes = self.m + 1  # the paper's second setting
+        if n_probes < 1:
+            raise ValueError("n_probes must be >= 1")
+        if max_gap < 1:
+            raise ValueError("max_gap must be >= 1")
+        if max_alternatives < 1:
+            raise ValueError("max_alternatives must be >= 1")
+        self.n_probes = int(n_probes)
+        self.max_gap = int(max_gap)
+        self.max_alternatives = int(max_alternatives)
+
+    # ------------------------------------------------------------------
+
+    def _affected_shifts(
+        self, positions: Tuple[int, ...], reach: np.ndarray
+    ) -> List[int]:
+        """Shifts whose match window covers any modified position.
+
+        ``reach[s] = max(len_l, len_u)`` from the unperturbed search; the
+        probe can only change the outcome at shift ``s`` if some modified
+        position ``p`` satisfies ``(p - s) mod m <= reach[s]``.
+        """
+        m = self.m
+        affected = []
+        for s in range(m):
+            r = int(reach[s])
+            for p in positions:
+                if (p - s) % m <= r:
+                    affected.append(s)
+                    break
+        return affected
+
+    def _query(
+        self,
+        q: np.ndarray,
+        k: int,
+        num_candidates: Optional[int] = None,
+        n_probes: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.csa is None:
+            raise RuntimeError("index must be fitted before querying")
+        if num_candidates is None:
+            num_candidates = self.default_candidates(k)
+        if n_probes is None:
+            n_probes = self.n_probes
+        budget = min(self.n, num_candidates + k - 1)
+        codes, alternatives = self.family.query_alternatives(
+            q, self.max_alternatives
+        )
+        alt_codes = [a[0] for a in alternatives]
+        alt_scores = [a[1] for a in alternatives]
+        # Probe 0: the unperturbed hash string, with stored bounds.
+        bounds = self.csa.search_all_shifts(codes)
+        qd0 = self.csa.query_rotations(codes)
+        reach = np.array(
+            [max(b.len_lower, b.len_upper) for b in bounds], dtype=np.int64
+        )
+        # Collect every (probe, affected shift) search, then run them as
+        # one lock-step batched binary search (a single vectorised
+        # bisection instead of hundreds of sequential ones).
+        search_shifts: list = []
+        search_qds: list = []
+        for delta in generate_perturbation_vectors(
+            alt_scores, n_probes, max_gap=self.max_gap
+        ):
+            if not delta:  # probe 0 already handled via `bounds`
+                continue
+            modified = codes.copy()
+            for pos, j in delta:
+                modified[pos] = alt_codes[pos][j]
+            qd = self.csa.query_rotations(modified)
+            positions = tuple(pos for pos, _ in delta)
+            for s in self._affected_shifts(positions, reach):
+                search_shifts.append(s)
+                search_qds.append(qd)
+        extra_entries: list = []
+        n_searches = len(search_shifts)
+        if n_searches:
+            shifts_arr = np.array(search_shifts, dtype=np.int64)
+            q_rots = np.stack(
+                [qd[s : s + self.m] for s, qd in zip(search_shifts, search_qds)]
+            )
+            probe_bounds = self.csa.batch_binary_search(shifts_arr, q_rots)
+            for s, qd, b in zip(search_shifts, search_qds, probe_bounds):
+                if b.pos_lower >= 0:
+                    extra_entries.append((b.len_lower, s, b.pos_lower, -1, qd))
+                if b.pos_upper < self.n:
+                    extra_entries.append((b.len_upper, s, b.pos_upper, +1, qd))
+        cand_ids, lccs_lens = self.csa.merge_candidates(
+            qd0, bounds, budget, extra_entries=extra_entries
+        )
+        self.last_stats["probes"] = float(n_probes)
+        self.last_stats["probe_searches"] = float(n_searches)
+        self.last_stats["max_lccs"] = int(lccs_lens[0]) if len(lccs_lens) else 0
+        return self._verify(cand_ids, q, k)

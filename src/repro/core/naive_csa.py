@@ -1,0 +1,41 @@
+"""The paper's "simple method" for k-LCCS search — the ablation baseline.
+
+Section 3.2 first derives a naive index: sort the strings once per shift
+and answer a query with ``m`` *independent* full binary searches, at
+``O(m (m + log n))`` query time.  The CSA then improves this with next
+links and windowed searches (Lemma 3.1) to ``O(log n + (m + k) log m)``.
+
+``NaiveCSA`` implements the simple method with the same results
+contract as :class:`repro.core.csa.CircularShiftArray` so the ablation
+benchmark (and the tests) can compare them directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.csa import CircularShiftArray, ShiftBounds
+
+__all__ = ["NaiveCSA"]
+
+
+class NaiveCSA(CircularShiftArray):
+    """k-LCCS search without next-link chaining (paper's simple method).
+
+    Construction is identical to the CSA (the sorted indices are the
+    same); only the query path differs: every shift pays a full binary
+    search over all ``n`` strings.
+    """
+
+    def search_all_shifts(self, query: np.ndarray) -> List[ShiftBounds]:
+        query = np.asarray(query)
+        if query.shape != (self.m,):
+            raise ValueError(
+                f"query must have length m={self.m}, got shape {query.shape}"
+            )
+        qd = self.query_rotations(query)
+        return [
+            self.binary_search(s, qd[s : s + self.m]) for s in range(self.m)
+        ]

@@ -1,0 +1,95 @@
+"""Perturbation vector generation for MP-LCCS-LSH (paper Algorithm 3).
+
+A *perturbation vector* ``delta`` is a list of ``(position, alt_index)``
+pairs with strictly increasing positions: replace the query's hash value
+at ``position`` by its ``alt_index``-th best alternative.  Vectors are
+emitted in ascending order of total score via a min-heap seeded with all
+single-position vectors, using two operations from Lv et al.:
+
+* ``p_shift(delta)`` — bump the *last* modification to its next-best
+  alternative;
+* ``p_expand(delta, gap)`` — append a new modification ``gap`` positions
+  after the last one, starting at the best alternative.
+
+The paper restricts ``gap <= MAX_GAP`` (2 in practice) so that adjacent
+modifications stay close — distant modifications mostly re-discover
+candidates already probed (paper Example 4.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PerturbationVector", "generate_perturbation_vectors", "score_of"]
+
+#: ((position, alternative_index), ...) with strictly increasing positions
+PerturbationVector = Tuple[Tuple[int, int], ...]
+
+
+def score_of(delta: PerturbationVector, alt_scores: Sequence[np.ndarray]) -> float:
+    """Total score of a perturbation vector (sum of component scores)."""
+    return float(sum(alt_scores[pos][j] for pos, j in delta))
+
+
+def generate_perturbation_vectors(
+    alt_scores: Sequence[np.ndarray],
+    n_probes: int,
+    max_gap: int = 2,
+) -> Iterator[PerturbationVector]:
+    """Yield up to ``n_probes`` perturbation vectors in ascending score.
+
+    The first vector is always the empty "no perturbation" probe, as in
+    Algorithm 3 line 1.  ``alt_scores[i]`` holds the scores of position
+    ``i``'s alternatives sorted ascending (see
+    :meth:`repro.hashes.HashFamily.query_alternatives`).
+
+    Args:
+        alt_scores: per-position alternative scores, each sorted ascending.
+        n_probes: total number of probes to emit (including the empty one).
+        max_gap: the paper's ``MAX_GAP`` bound on the distance between
+            adjacent modified positions.
+    """
+    if n_probes <= 0:
+        raise ValueError("n_probes must be positive")
+    if max_gap < 1:
+        raise ValueError("max_gap must be >= 1")
+    m = len(alt_scores)
+    yield ()
+    emitted = 1
+    if emitted >= n_probes or m == 0:
+        return
+    heap: List[Tuple[float, int, PerturbationVector]] = []
+    counter = 0
+    for i in range(m):
+        if len(alt_scores[i]) > 0:
+            delta: PerturbationVector = ((i, 0),)
+            heap.append((float(alt_scores[i][0]), counter, delta))
+            counter += 1
+    heapq.heapify(heap)
+    while heap and emitted < n_probes:
+        score, _, delta = heapq.heappop(heap)
+        yield delta
+        emitted += 1
+        last_pos, last_j = delta[-1]
+        # p_shift: advance the last modification to its next alternative.
+        if last_j + 1 < len(alt_scores[last_pos]):
+            shifted = delta[:-1] + ((last_pos, last_j + 1),)
+            new_score = (
+                score
+                - float(alt_scores[last_pos][last_j])
+                + float(alt_scores[last_pos][last_j + 1])
+            )
+            heapq.heappush(heap, (new_score, counter, shifted))
+            counter += 1
+        # p_expand: append a fresh modification gap positions later.
+        for gap in range(1, max_gap + 1):
+            new_pos = last_pos + gap
+            if new_pos >= m or len(alt_scores[new_pos]) == 0:
+                continue
+            expanded = delta + ((new_pos, 0),)
+            new_score = score + float(alt_scores[new_pos][0])
+            heapq.heappush(heap, (new_score, counter, expanded))
+            counter += 1

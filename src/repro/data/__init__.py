@@ -1,0 +1,46 @@
+"""Synthetic workloads, dataset registry, and exact ground truth."""
+
+from repro.data.datasets import DATASET_SPECS, Dataset, dataset_names, load_dataset
+from repro.data.ground_truth import GroundTruth, compute_ground_truth, exact_knn
+from repro.data.io import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.data.synthetic import (
+    binary_strings,
+    embedding_like,
+    gaussian_clusters,
+    rng_from_seed,
+    sift_like,
+    sparse_sets,
+    split_queries,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "GroundTruth",
+    "binary_strings",
+    "compute_ground_truth",
+    "dataset_names",
+    "embedding_like",
+    "exact_knn",
+    "gaussian_clusters",
+    "load_dataset",
+    "read_bvecs",
+    "read_fvecs",
+    "read_ivecs",
+    "write_bvecs",
+    "write_fvecs",
+    "write_ivecs",
+    "rng_from_seed",
+    "sift_like",
+    "sparse_sets",
+    "split_queries",
+    "uniform_hypercube",
+]

@@ -1,0 +1,145 @@
+"""Registry of the five benchmark datasets from the paper (simulated).
+
+Paper Table 2:
+
+    Dataset  #Objects   d    Type
+    Msong     992,272  420   Audio
+    Sift    1,000,000  128   Image
+    Gist    1,000,000  960   Image
+    GloVe   1,183,514  100   Text
+    Deep    1,000,000  256   Deep
+
+The real corpora are unavailable offline, so ``load_dataset`` generates a
+seeded synthetic stand-in with the same dimensionality and data-type
+flavour, scaled down in cardinality (see DESIGN.md §4).  Every dataset is
+returned with a held-out query set and carries the metric(s) the paper
+evaluates it under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.data import synthetic
+
+__all__ = ["Dataset", "DATASET_SPECS", "load_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A benchmark dataset: base vectors, queries, and metadata."""
+
+    name: str
+    data: np.ndarray
+    queries: np.ndarray
+    metrics: Tuple[str, ...]
+    description: str = ""
+
+    @property
+    def n(self) -> int:
+        return len(self.data)
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def size_bytes(self) -> int:
+        return int(self.data.nbytes + self.queries.nbytes)
+
+
+def _gen_msong(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Audio features: dense real-valued, strongly clustered, mixed scales.
+    return synthetic.gaussian_clusters(
+        n, 420, n_clusters=40, cluster_std=0.12, center_scale=10.0, seed=rng
+    )
+
+
+def _gen_sift(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic.sift_like(n, 128, n_clusters=50, seed=rng)
+
+
+def _gen_gist(n: int, rng: np.random.Generator) -> np.ndarray:
+    # GIST: dense, small-magnitude global image descriptors.
+    raw = synthetic.gaussian_clusters(
+        n, 960, n_clusters=30, cluster_std=0.2, center_scale=0.1, seed=rng
+    )
+    return np.abs(raw)
+
+
+def _gen_glove(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic.embedding_like(n, 100, n_clusters=60, seed=rng, normalize=False)
+
+
+def _gen_deep(n: int, rng: np.random.Generator) -> np.ndarray:
+    return synthetic.embedding_like(n, 256, n_clusters=40, seed=rng, normalize=True)
+
+
+_GeneratorFn = Callable[[int, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class _Spec:
+    dim: int
+    metrics: Tuple[str, ...]
+    generator: _GeneratorFn
+    description: str
+    paper_n: int = 1_000_000
+
+
+DATASET_SPECS: Dict[str, _Spec] = {
+    "msong": _Spec(420, ("euclidean", "angular"), _gen_msong,
+                   "audio features (simulated Msong)", 992_272),
+    "sift": _Spec(128, ("euclidean", "angular"), _gen_sift,
+                  "SIFT image descriptors (simulated Sift)", 1_000_000),
+    "gist": _Spec(960, ("euclidean", "angular"), _gen_gist,
+                  "GIST image descriptors (simulated Gist)", 1_000_000),
+    "glove": _Spec(100, ("euclidean", "angular"), _gen_glove,
+                   "text embeddings (simulated GloVe)", 1_183_514),
+    "deep": _Spec(256, ("euclidean", "angular"), _gen_deep,
+                  "deep neural codes (simulated Deep)", 1_000_000),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Names of the five paper datasets, in the paper's order."""
+    return tuple(DATASET_SPECS)
+
+
+def load_dataset(
+    name: str,
+    n: int = 10_000,
+    n_queries: int = 100,
+    seed: int = 42,
+) -> Dataset:
+    """Generate a simulated version of a paper dataset.
+
+    Args:
+        name: one of ``dataset_names()`` (case-insensitive).
+        n: number of base points (paper uses ~1M; default scaled down).
+        n_queries: held-out queries, as in the paper's 100-query protocol.
+        seed: RNG seed; the same ``(name, n, n_queries, seed)`` always
+            yields the same dataset.
+    """
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}")
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
+    spec = DATASET_SPECS[key]
+    rng = np.random.default_rng(seed)
+    raw = spec.generator(n + n_queries, rng)
+    base, queries = synthetic.split_queries(raw, n_queries, seed=rng)
+    return Dataset(
+        name=key,
+        data=base,
+        queries=queries,
+        metrics=spec.metrics,
+        description=spec.description,
+    )

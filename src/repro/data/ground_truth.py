@@ -1,0 +1,76 @@
+"""Exact k-nearest-neighbour ground truth, computed by chunked linear scan.
+
+Used both as the evaluation oracle (recall/ratio need the true top-k) and
+as the reference implementation every ANN index is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.distances import pairwise
+
+__all__ = ["GroundTruth", "exact_knn", "compute_ground_truth"]
+
+
+def exact_knn(
+    data: np.ndarray, q: np.ndarray, k: int, metric: str = "euclidean"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` neighbours of ``q`` in ``data``.
+
+    Returns ``(indices, distances)`` sorted by ascending distance, ties
+    broken by index for determinism.  ``k`` is clamped to ``len(data)``.
+    """
+    data = np.asarray(data)
+    if len(data) == 0:
+        raise ValueError("cannot search an empty dataset")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, len(data))
+    dists = pairwise(data, np.asarray(q), metric)
+    # Stable ordering: sort by (distance, index).
+    order = np.lexsort((np.arange(len(data)), dists))[:k]
+    return order, dists[order]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact neighbours for a batch of queries.
+
+    Attributes:
+        indices: ``(n_queries, k)`` int array of true neighbour ids.
+        distances: ``(n_queries, k)`` float array of true distances.
+        metric: metric name used.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    metric: str
+
+    @property
+    def k(self) -> int:
+        return self.indices.shape[1]
+
+    def __len__(self) -> int:
+        return self.indices.shape[0]
+
+
+def compute_ground_truth(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str = "euclidean",
+) -> GroundTruth:
+    """Exact top-``k`` for every query row, via linear scans."""
+    queries = np.asarray(queries)
+    if queries.ndim != 2:
+        raise ValueError("queries must be a 2-d array")
+    all_idx = np.empty((len(queries), min(k, len(data))), dtype=np.int64)
+    all_dist = np.empty_like(all_idx, dtype=np.float64)
+    for i, q in enumerate(queries):
+        idx, dist = exact_knn(data, q, k, metric)
+        all_idx[i], all_dist[i] = idx, dist
+    return GroundTruth(indices=all_idx, distances=all_dist, metric=metric)

@@ -1,0 +1,109 @@
+"""Readers/writers for the .fvecs / .ivecs / .bvecs vector formats.
+
+The paper's real corpora (Sift, Gist from corpus-texmex.irisa.fr, and
+most ANN benchmark releases) ship in the TexMex vector formats: each
+vector is stored as a little-endian ``int32`` dimensionality ``d``
+followed by ``d`` components (``float32`` / ``int32`` / ``uint8``).
+
+The offline benchmarks use synthetic stand-ins (DESIGN.md §4), but with
+these functions a user who *does* have the real files can run every
+experiment on them unchanged::
+
+    from repro.data.io import read_fvecs
+    base = read_fvecs("sift_base.fvecs")
+    queries = read_fvecs("sift_query.fvecs")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "read_fvecs",
+    "read_ivecs",
+    "read_bvecs",
+    "write_fvecs",
+    "write_ivecs",
+    "write_bvecs",
+]
+
+PathLike = Union[str, Path]
+
+
+def _read_vecs(
+    path: PathLike,
+    component_dtype: np.dtype,
+    max_vectors: Optional[int],
+) -> np.ndarray:
+    raw = np.fromfile(str(path), dtype=np.uint8)
+    if raw.size == 0:
+        raise ValueError(f"{path} is empty")
+    if raw.size < 4:
+        raise ValueError(f"{path} is truncated (no header)")
+    d = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if d <= 0:
+        raise ValueError(f"{path} has invalid dimensionality {d}")
+    comp_size = np.dtype(component_dtype).itemsize
+    record = 4 + d * comp_size
+    if raw.size % record != 0:
+        raise ValueError(
+            f"{path}: size {raw.size} is not a multiple of the record "
+            f"size {record} (d={d})"
+        )
+    n = raw.size // record
+    if max_vectors is not None:
+        n = min(n, max_vectors)
+    body = raw[: n * record].reshape(n, record)
+    dims = body[:, :4].copy().view("<i4").ravel()
+    if not (dims == d).all():
+        raise ValueError(f"{path}: inconsistent per-vector dimensionalities")
+    comps = body[:, 4:].copy().view(np.dtype(component_dtype).newbyteorder("<"))
+    return comps.reshape(n, d).astype(component_dtype)
+
+
+def read_fvecs(path: PathLike, max_vectors: Optional[int] = None) -> np.ndarray:
+    """Read an ``.fvecs`` file into ``(n, d)`` float32."""
+    return _read_vecs(path, np.float32, max_vectors)
+
+
+def read_ivecs(path: PathLike, max_vectors: Optional[int] = None) -> np.ndarray:
+    """Read an ``.ivecs`` file (e.g. ground-truth ids) into ``(n, d)`` int32."""
+    return _read_vecs(path, np.int32, max_vectors)
+
+
+def read_bvecs(path: PathLike, max_vectors: Optional[int] = None) -> np.ndarray:
+    """Read a ``.bvecs`` file into ``(n, d)`` uint8."""
+    return _read_vecs(path, np.uint8, max_vectors)
+
+
+def _write_vecs(
+    path: PathLike, data: np.ndarray, component_dtype: np.dtype
+) -> None:
+    data = np.asarray(data)
+    if data.ndim != 2 or data.shape[0] == 0 or data.shape[1] == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    n, d = data.shape
+    comps = data.astype(np.dtype(component_dtype).newbyteorder("<"))
+    header = np.full(n, d, dtype="<i4")
+    with open(str(path), "wb") as f:
+        for i in range(n):
+            f.write(header[i : i + 1].tobytes())
+            f.write(comps[i].tobytes())
+
+
+def write_fvecs(path: PathLike, data: np.ndarray) -> None:
+    """Write ``(n, d)`` floats as ``.fvecs``."""
+    _write_vecs(path, data, np.float32)
+
+
+def write_ivecs(path: PathLike, data: np.ndarray) -> None:
+    """Write ``(n, d)`` ints as ``.ivecs``."""
+    _write_vecs(path, data, np.int32)
+
+
+def write_bvecs(path: PathLike, data: np.ndarray) -> None:
+    """Write ``(n, d)`` bytes as ``.bvecs``."""
+    _write_vecs(path, data, np.uint8)

@@ -1,0 +1,194 @@
+"""Synthetic workload generators.
+
+The paper evaluates on five real 1M-point datasets (Msong, Sift, Gist,
+GloVe, Deep).  Those corpora are not available offline, so we generate
+seeded synthetic data with the same dimensionalities and, crucially, the
+same *distance profile* structure: a modest number of clusters so that
+every query has genuinely near neighbours plus a long tail of far
+points.  This is the property LSH trade-off curves are sensitive to; see
+DESIGN.md §4 for the substitution rationale.
+
+All generators take a ``numpy.random.Generator`` or integer seed and are
+fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "rng_from_seed",
+    "gaussian_clusters",
+    "uniform_hypercube",
+    "sift_like",
+    "embedding_like",
+    "binary_strings",
+    "sparse_sets",
+    "split_queries",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def rng_from_seed(seed: SeedLike) -> np.random.Generator:
+    """Coerce an int / Generator / None into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gaussian_clusters(
+    n: int,
+    d: int,
+    n_clusters: int = 20,
+    cluster_std: float = 0.15,
+    center_scale: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Mixture of isotropic Gaussians: the generic clustered workload.
+
+    Cluster centres are drawn from ``N(0, center_scale^2 I)`` and points
+    from ``N(center, (cluster_std * center_scale)^2 I)``.  With
+    ``cluster_std << 1`` near-neighbour distances are well separated from
+    the bulk, mimicking real feature datasets.
+    """
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    rng = rng_from_seed(seed)
+    centers = rng.normal(0.0, center_scale, size=(n_clusters, d))
+    labels = rng.integers(0, n_clusters, size=n)
+    noise = rng.normal(0.0, cluster_std * center_scale, size=(n, d))
+    return centers[labels] + noise
+
+
+def uniform_hypercube(
+    n: int, d: int, low: float = 0.0, high: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Uniform points in ``[low, high]^d`` — the unstructured stress case."""
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    rng = rng_from_seed(seed)
+    return rng.uniform(low, high, size=(n, d))
+
+
+def sift_like(
+    n: int,
+    d: int = 128,
+    n_clusters: int = 50,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Non-negative, clipped, integer-valued vectors mimicking SIFT.
+
+    SIFT descriptors are histograms of gradient orientations: dense,
+    non-negative, bounded (0..218 in the original corpus), heavily
+    clustered.  We emulate with clipped scaled Gaussians rounded to
+    integers (stored as float64 for uniformity).
+    """
+    rng = rng_from_seed(seed)
+    raw = gaussian_clusters(
+        n, d, n_clusters=n_clusters, cluster_std=0.2, center_scale=40.0, seed=rng
+    )
+    return np.clip(np.rint(np.abs(raw)), 0, 255).astype(np.float64)
+
+
+def embedding_like(
+    n: int,
+    d: int,
+    n_clusters: int = 30,
+    seed: SeedLike = None,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Dense embedding vectors (GloVe / deep-feature flavour).
+
+    Heavy-ish tails via a Student-t component; optionally row-normalised
+    so the angular and Euclidean geometries coincide, as for the paper's
+    Deep dataset.
+    """
+    rng = rng_from_seed(seed)
+    base = gaussian_clusters(
+        n, d, n_clusters=n_clusters, cluster_std=0.25, center_scale=1.0, seed=rng
+    )
+    tails = rng.standard_t(df=4, size=(n, d)) * 0.05
+    out = base + tails
+    if normalize:
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        out = out / norms
+    return out
+
+
+def binary_strings(
+    n: int,
+    d: int,
+    n_clusters: int = 10,
+    flip_prob: float = 0.05,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Clustered binary vectors for Hamming-space experiments.
+
+    Each cluster has a random binary centre; members flip each bit with
+    probability ``flip_prob``.
+    """
+    if not 0.0 <= flip_prob <= 1.0:
+        raise ValueError("flip_prob must be in [0, 1]")
+    rng = rng_from_seed(seed)
+    centers = rng.integers(0, 2, size=(n_clusters, d))
+    labels = rng.integers(0, n_clusters, size=n)
+    flips = rng.random(size=(n, d)) < flip_prob
+    return np.bitwise_xor(centers[labels], flips.astype(np.int64)).astype(np.int64)
+
+
+def sparse_sets(
+    n: int,
+    universe: int,
+    avg_size: int = 32,
+    n_clusters: int = 10,
+    overlap: float = 0.7,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Clustered sparse indicator vectors for Jaccard experiments.
+
+    Each cluster owns a pool of ``avg_size / overlap`` items; a member
+    draws ``~avg_size`` items mostly from the pool, with the rest sampled
+    from the whole universe.
+    """
+    if not 0.0 < overlap <= 1.0:
+        raise ValueError("overlap must be in (0, 1]")
+    rng = rng_from_seed(seed)
+    pool_size = max(1, int(avg_size / overlap))
+    pools = [rng.choice(universe, size=min(pool_size, universe), replace=False)
+             for _ in range(n_clusters)]
+    out = np.zeros((n, universe), dtype=np.int64)
+    labels = rng.integers(0, n_clusters, size=n)
+    for i in range(n):
+        pool = pools[labels[i]]
+        n_from_pool = min(len(pool), max(1, int(round(avg_size * overlap))))
+        chosen = rng.choice(pool, size=n_from_pool, replace=False)
+        n_noise = max(0, avg_size - n_from_pool)
+        if n_noise:
+            noise = rng.integers(0, universe, size=n_noise)
+            chosen = np.concatenate([chosen, noise])
+        out[i, chosen] = 1
+    return out
+
+
+def split_queries(
+    data: np.ndarray, n_queries: int, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``data`` into (base, queries) by sampling rows without replacement.
+
+    Mirrors the paper's protocol of drawing queries from the test split of
+    each corpus: queries are held out of the indexed set.
+    """
+    data = np.asarray(data)
+    n = len(data)
+    if not 0 < n_queries < n:
+        raise ValueError(f"n_queries must be in (0, {n}), got {n_queries}")
+    rng = rng_from_seed(seed)
+    idx = rng.permutation(n)
+    q_idx, base_idx = idx[:n_queries], idx[n_queries:]
+    return data[base_idx], data[q_idx]

@@ -1,0 +1,29 @@
+"""Distance metrics (Euclidean, angular, Hamming, Jaccard, ...)."""
+
+from repro.distances.metrics import (
+    METRICS,
+    angular,
+    cosine,
+    euclidean,
+    get_metric,
+    hamming,
+    jaccard,
+    manhattan,
+    normalize_rows,
+    pairwise,
+    squared_euclidean,
+)
+
+__all__ = [
+    "METRICS",
+    "angular",
+    "cosine",
+    "euclidean",
+    "get_metric",
+    "hamming",
+    "jaccard",
+    "manhattan",
+    "normalize_rows",
+    "pairwise",
+    "squared_euclidean",
+]

@@ -1,0 +1,222 @@
+"""Distance metrics used throughout the library.
+
+The paper evaluates LCCS-LSH under Euclidean distance and Angular
+distance, and notes the framework supports any metric admitting an LSH
+family.  We provide those two plus Hamming and Jaccard (for the bit
+sampling and MinHash families) and cosine distance as a convenience.
+
+Two calling conventions are supported by every metric:
+
+* ``metric(o, q)`` with two 1-d vectors returns a scalar, and
+* ``pairwise(data, q, metric)`` with a 2-d ``(n, d)`` matrix and a 1-d
+  query returns the length-``n`` vector of distances, computed with
+  vectorised numpy kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "manhattan",
+    "angular",
+    "cosine",
+    "hamming",
+    "jaccard",
+    "pairwise",
+    "get_metric",
+    "METRICS",
+    "normalize_rows",
+]
+
+
+def euclidean(o: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean (l2) distance between two vectors."""
+    o = np.asarray(o, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.sqrt(np.sum((o - q) ** 2)))
+
+
+def squared_euclidean(o: np.ndarray, q: np.ndarray) -> float:
+    """Squared Euclidean distance (cheaper; same ordering as l2)."""
+    o = np.asarray(o, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.sum((o - q) ** 2))
+
+
+def manhattan(o: np.ndarray, q: np.ndarray) -> float:
+    """Manhattan (l1) distance; served by the Cauchy projection family."""
+    o = np.asarray(o, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.sum(np.abs(o - q)))
+
+
+def angular(o: np.ndarray, q: np.ndarray) -> float:
+    """Angular distance ``theta(o, q) = arccos(o.q / (|o||q|))`` in radians.
+
+    Raises ``ValueError`` for zero vectors, for which the angle is
+    undefined.
+    """
+    o = np.asarray(o, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    no = np.linalg.norm(o)
+    nq = np.linalg.norm(q)
+    if no == 0.0 or nq == 0.0:
+        raise ValueError("angular distance is undefined for zero vectors")
+    cos = np.clip(np.dot(o, q) / (no * nq), -1.0, 1.0)
+    return float(np.arccos(cos))
+
+
+def cosine(o: np.ndarray, q: np.ndarray) -> float:
+    """Cosine distance ``1 - cos(o, q)``; monotone in angular distance."""
+    o = np.asarray(o, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    no = np.linalg.norm(o)
+    nq = np.linalg.norm(q)
+    if no == 0.0 or nq == 0.0:
+        raise ValueError("cosine distance is undefined for zero vectors")
+    return float(1.0 - np.clip(np.dot(o, q) / (no * nq), -1.0, 1.0))
+
+
+def hamming(o: np.ndarray, q: np.ndarray) -> float:
+    """Hamming distance: number of positions on which the vectors differ."""
+    o = np.asarray(o)
+    q = np.asarray(q)
+    return float(np.count_nonzero(o != q))
+
+
+def jaccard(o: np.ndarray, q: np.ndarray) -> float:
+    """Jaccard distance ``1 - |o & q| / |o | q|`` between binary vectors.
+
+    Inputs are interpreted as indicator vectors (nonzero = member).  The
+    distance between two empty sets is defined as 0.
+    """
+    o = np.asarray(o) != 0
+    q = np.asarray(q) != 0
+    union = np.count_nonzero(o | q)
+    if union == 0:
+        return 0.0
+    inter = np.count_nonzero(o & q)
+    return float(1.0 - inter / union)
+
+
+def _pairwise_euclidean(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    diff = data - q[None, :]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def _pairwise_squared_euclidean(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    diff = data - q[None, :]
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _pairwise_manhattan(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    return np.sum(np.abs(data - q[None, :]), axis=1)
+
+
+def _pairwise_angular(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(data, axis=1)
+    nq = np.linalg.norm(q)
+    if nq == 0.0 or np.any(norms == 0.0):
+        raise ValueError("angular distance is undefined for zero vectors")
+    cos = np.clip(data @ q / (norms * nq), -1.0, 1.0)
+    return np.arccos(cos)
+
+
+def _pairwise_cosine(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(data, axis=1)
+    nq = np.linalg.norm(q)
+    if nq == 0.0 or np.any(norms == 0.0):
+        raise ValueError("cosine distance is undefined for zero vectors")
+    return 1.0 - np.clip(data @ q / (norms * nq), -1.0, 1.0)
+
+
+def _pairwise_hamming(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    return np.count_nonzero(data != q[None, :], axis=1).astype(np.float64)
+
+
+def _pairwise_jaccard(data: np.ndarray, q: np.ndarray) -> np.ndarray:
+    d = data != 0
+    qb = q != 0
+    inter = np.count_nonzero(d & qb[None, :], axis=1).astype(np.float64)
+    union = np.count_nonzero(d | qb[None, :], axis=1).astype(np.float64)
+    out = np.ones(len(data))
+    nonempty = union > 0
+    out[nonempty] = 1.0 - inter[nonempty] / union[nonempty]
+    out[~nonempty] = 0.0
+    return out
+
+
+METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "euclidean": euclidean,
+    "squared_euclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "angular": angular,
+    "cosine": cosine,
+    "hamming": hamming,
+    "jaccard": jaccard,
+}
+
+_PAIRWISE: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "euclidean": _pairwise_euclidean,
+    "squared_euclidean": _pairwise_squared_euclidean,
+    "manhattan": _pairwise_manhattan,
+    "angular": _pairwise_angular,
+    "cosine": _pairwise_cosine,
+    "hamming": _pairwise_hamming,
+    "jaccard": _pairwise_jaccard,
+}
+
+
+def get_metric(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a scalar metric by name; raises ``KeyError`` with options."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; available: {sorted(METRICS)}"
+        ) from None
+
+
+def pairwise(data: np.ndarray, q: np.ndarray, metric: str) -> np.ndarray:
+    """Distances from every row of ``data`` to the query ``q``.
+
+    ``data`` has shape ``(n, d)``, ``q`` has shape ``(d,)``; the result is
+    a float64 vector of length ``n``.
+    """
+    data = np.asarray(data)
+    q = np.asarray(q)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-d, got shape {data.shape}")
+    if q.ndim != 1 or q.shape[0] != data.shape[1]:
+        raise ValueError(
+            f"query shape {q.shape} incompatible with data shape {data.shape}"
+        )
+    try:
+        kernel = _PAIRWISE[metric]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {sorted(_PAIRWISE)}"
+        ) from None
+    return kernel(data, q)
+
+
+def normalize_rows(data: np.ndarray) -> np.ndarray:
+    """Return ``data`` with every row scaled to unit l2 norm.
+
+    Rows with zero norm raise ``ValueError`` (they cannot live on the
+    unit sphere, which the cross-polytope family requires).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    single = data.ndim == 1
+    if single:
+        data = data[None, :]
+    norms = np.linalg.norm(data, axis=1)
+    if np.any(norms == 0.0):
+        raise ValueError("cannot normalise zero vectors onto the unit sphere")
+    out = data / norms[:, None]
+    return out[0] if single else out

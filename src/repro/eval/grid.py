@@ -1,0 +1,98 @@
+"""Parameter sweeps and Pareto frontiers.
+
+The paper's figures report, per method, the *lowest query time achieving
+each recall level over all parameter combinations* ("grid search", §6.4).
+``sweep`` evaluates a build-parameter x query-parameter grid reusing
+builds; ``pareto_frontier`` keeps the non-dominated (recall up, time
+down) points; ``time_at_recall`` extracts the paper's
+"lowest query time at X% recall" readings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.data.ground_truth import GroundTruth
+from repro.eval.harness import EvalResult, evaluate
+
+__all__ = ["grid", "sweep", "pareto_frontier", "time_at_recall"]
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of dicts.
+
+    ``grid(K=[2, 4], L=[8])`` -> ``[{'K': 2, 'L': 8}, {'K': 4, 'L': 8}]``.
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[n] for n in names))
+    ]
+
+
+def sweep(
+    factory: Callable[..., ANNIndex],
+    build_grid: Iterable[Dict[str, Any]],
+    data: np.ndarray,
+    queries: np.ndarray,
+    ground_truth: GroundTruth,
+    k: int = 10,
+    query_grid: Optional[Iterable[Dict[str, Any]]] = None,
+) -> List[EvalResult]:
+    """Evaluate every (build params, query params) combination.
+
+    ``factory(**build_params)`` must return an unfitted index; each build
+    is fitted once and reused across all query-parameter combinations.
+    """
+    query_grid = list(query_grid) if query_grid is not None else [{}]
+    results: List[EvalResult] = []
+    for build_params in build_grid:
+        index = factory(**build_params)
+        index.fit(data)
+        for query_params in query_grid:
+            res = evaluate(
+                index,
+                data,
+                queries,
+                ground_truth,
+                k=k,
+                query_kwargs=query_params,
+                params={**build_params, **query_params},
+            )
+            results.append(res)
+    return results
+
+
+def pareto_frontier(results: Sequence[EvalResult]) -> List[EvalResult]:
+    """Non-dominated points: no other result has >= recall and < time.
+
+    Returned sorted by ascending recall (the paper's curve order).
+    """
+    ordered = sorted(results, key=lambda r: (-r.recall, r.avg_query_time_ms))
+    frontier: List[EvalResult] = []
+    best_time = float("inf")
+    for res in ordered:
+        if res.avg_query_time_ms < best_time:
+            frontier.append(res)
+            best_time = res.avg_query_time_ms
+    frontier.reverse()
+    return frontier
+
+
+def time_at_recall(
+    results: Sequence[EvalResult], recall_level: float
+) -> Optional[EvalResult]:
+    """Cheapest result achieving at least ``recall_level`` (or None).
+
+    This is how the paper reads "query time at 50% recall" off a sweep.
+    """
+    qualifying = [r for r in results if r.recall >= recall_level]
+    if not qualifying:
+        return None
+    return min(qualifying, key=lambda r: r.avg_query_time_ms)

@@ -1,0 +1,56 @@
+"""Accuracy metrics from the paper's §6.2: recall and overall ratio."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["recall", "overall_ratio"]
+
+_EPS = 1e-12
+
+
+def recall(result_ids: np.ndarray, true_ids: np.ndarray) -> float:
+    """Fraction of the exact top-k that the method returned.
+
+    Paper: "the fraction of the total amount of data objects returned by
+    a method that are appeared in the exact k NNs".  ``result_ids`` may be
+    shorter than ``true_ids`` (missing results count as misses); padding
+    ids < 0 are ignored.
+    """
+    true_ids = np.asarray(true_ids)
+    if true_ids.size == 0:
+        raise ValueError("true_ids must be non-empty")
+    result = set(int(i) for i in np.asarray(result_ids).ravel() if i >= 0)
+    hits = sum(1 for t in true_ids.ravel() if int(t) in result)
+    return hits / true_ids.size
+
+
+def overall_ratio(
+    result_dists: np.ndarray, true_dists: np.ndarray
+) -> float:
+    """Paper's overall ratio ``(1/k) * sum_i dist(o_i) / dist(o*_i)``.
+
+    ``result_dists`` are the method's returned distances sorted
+    ascending; ``true_dists`` the exact ones.  If the method returned
+    fewer than ``k`` results the ratio is computed over the returned
+    prefix (and is infinity when nothing was returned).  Exact zero
+    distances ratio to 1 when matched by a zero, following the
+    convention that an exact duplicate found is a perfect answer.
+    """
+    true_dists = np.asarray(true_dists, dtype=np.float64).ravel()
+    result_dists = np.asarray(result_dists, dtype=np.float64).ravel()
+    if true_dists.size == 0:
+        raise ValueError("true_dists must be non-empty")
+    if result_dists.size == 0:
+        return float("inf")
+    kk = min(len(result_dists), len(true_dists))
+    num = result_dists[:kk]
+    den = true_dists[:kk]
+    terms = np.where(
+        den > _EPS,
+        num / np.maximum(den, _EPS),
+        np.where(num <= _EPS, 1.0, np.inf),
+    )
+    return float(np.mean(terms))

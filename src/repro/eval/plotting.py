@@ -1,0 +1,89 @@
+"""Terminal (ASCII) plots for the benchmark output.
+
+The paper's figures are log-scale time-recall curves; matplotlib is not
+available offline, so the benchmarks render compact ASCII charts that
+preserve the visual ordering of methods.  Each series is one marker
+character; the y axis is log10(query time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot", "plot_time_recall"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 70,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    logy: bool = False,
+) -> str:
+    """Render named point series into an ASCII grid.
+
+    Args:
+        series: name -> [(x, y), ...].
+        width/height: plot area size in characters.
+        x_label/y_label: axis captions.
+        logy: plot ``log10(y)`` (the paper's time axes are log-scale).
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    if logy and any(y <= 0 for _, y in points):
+        raise ValueError("log-scale y requires positive values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [x for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS * 8):
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((ty(y) - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    y_cap = f"{y_label}{' (log10)' if logy else ''}"
+    lines.append(f"  {y_cap}: {10 ** y_max if logy else y_max:.3g} (top) "
+                 f"to {10 ** y_min if logy else y_min:.3g} (bottom)")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_label}: {x_min:.3g} (left) to {x_max:.3g} (right)")
+    legend = "   legend: " + "  ".join(
+        f"{marker}={name}"
+        for (name, _), marker in zip(series.items(), _MARKERS * 8)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def plot_time_recall(
+    frontiers: Dict[str, List[Tuple[float, float]]], title: str = ""
+) -> str:
+    """Paper-style chart: recall% on x, log query time (ms) on y."""
+    populated = {k: v for k, v in frontiers.items() if v}
+    if not populated:
+        return f"{title}\n  (no series reached any recall level)"
+    chart = ascii_plot(
+        populated,
+        x_label="recall %",
+        y_label="query time ms",
+        logy=True,
+    )
+    return f"{title}\n{chart}" if title else chart

@@ -1,0 +1,73 @@
+"""Plain-text tables and series, matching the rows the paper reports."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.eval.harness import EvalResult
+
+__all__ = ["format_table", "format_results", "format_curve", "banner"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Fixed-width ASCII table; floats rendered with 4 significant places."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def format_results(results: Sequence[EvalResult]) -> str:
+    """Table of EvalResults: method, params, recall, ratio, time, size."""
+    headers = (
+        "method", "params", "recall%", "ratio", "time(ms)",
+        "build(s)", "size(MB)", "candidates",
+    )
+    rows = []
+    for r in results:
+        params = ",".join(f"{k}={v}" for k, v in sorted(r.params.items()))
+        rows.append(
+            (
+                r.method,
+                params or "-",
+                r.recall * 100.0,
+                r.ratio,
+                r.avg_query_time_ms,
+                r.build_time_s,
+                r.index_size_mb,
+                r.stats.get("candidates", float("nan")),
+            )
+        )
+    return format_table(headers, rows)
+
+
+def format_curve(
+    label: str,
+    points: Sequence[tuple],
+    x_name: str = "recall%",
+    y_name: str = "time(ms)",
+) -> str:
+    """One figure series as ``label: (x, y) (x, y) ...`` rows."""
+    body = "  ".join(f"({x:.4g}, {y:.4g})" for x, y in points)
+    return f"{label:<20} {x_name} vs {y_name}: {body}"
+
+
+def banner(title: str) -> str:
+    """Section banner used by the benchmark printouts."""
+    bar = "=" * max(60, len(title) + 4)
+    return f"\n{bar}\n  {title}\n{bar}"

@@ -1,0 +1,22 @@
+"""LSH families: random projection, cross-polytope, hyperplane, bit sampling, MinHash."""
+
+from repro.hashes.base import HashFamily, PositionAlternatives
+from repro.hashes.bit_sampling import BitSamplingFamily
+from repro.hashes.cauchy_projection import CauchyProjectionFamily
+from repro.hashes.cross_polytope import CrossPolytopeFamily
+from repro.hashes.factory import make_family
+from repro.hashes.hyperplane import HyperplaneFamily
+from repro.hashes.minhash import MinHashFamily
+from repro.hashes.random_projection import RandomProjectionFamily
+
+__all__ = [
+    "BitSamplingFamily",
+    "CauchyProjectionFamily",
+    "CrossPolytopeFamily",
+    "HashFamily",
+    "HyperplaneFamily",
+    "MinHashFamily",
+    "PositionAlternatives",
+    "RandomProjectionFamily",
+    "make_family",
+]

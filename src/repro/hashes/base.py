@@ -1,0 +1,99 @@
+"""Abstract LSH family interface.
+
+The LCCS framework is LSH-family-independent (paper §1): it only needs a
+family that maps a vector to ``m`` integer hash values (one hash string)
+and, for multi-probe schemes, per-position *alternative* hash values with
+scores (lower score = more promising perturbation, as in Multi-Probe LSH
+and FALCONN).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["HashFamily", "PositionAlternatives"]
+
+#: alternatives of one position: parallel (codes, scores), sorted by score
+PositionAlternatives = Tuple[np.ndarray, np.ndarray]
+
+
+class HashFamily(abc.ABC):
+    """A collection of ``m`` i.i.d. LSH functions ``h_1..h_m``.
+
+    Args:
+        dim: input dimensionality.
+        m: number of hash functions (= hash-string length).
+        seed: RNG seed; the family is deterministic given the seed.
+    """
+
+    #: metric this family is locality-sensitive for
+    metric: str = "euclidean"
+    #: whether :meth:`query_alternatives` is implemented
+    supports_probing: bool = False
+
+    def __init__(self, dim: int, m: int, seed: Optional[int] = None):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self.dim = int(dim)
+        self.m = int(m)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def hash(self, data: np.ndarray) -> np.ndarray:
+        """Hash strings for ``data``.
+
+        Accepts ``(n, dim)`` (returns ``(n, m)`` int64) or a single
+        ``(dim,)`` vector (returns ``(m,)``).
+        """
+        data = np.asarray(data, dtype=np.float64)
+        single = data.ndim == 1
+        if single:
+            data = data[None, :]
+        if data.ndim != 2 or data.shape[1] != self.dim:
+            raise ValueError(
+                f"data shape {data.shape} incompatible with dim={self.dim}"
+            )
+        codes = self._hash_batch(data)
+        return codes[0] if single else codes
+
+    def query_alternatives(
+        self, q: np.ndarray, max_alternatives: int = 8
+    ) -> Tuple[np.ndarray, List[PositionAlternatives]]:
+        """Hash string of ``q`` plus scored alternatives per position.
+
+        Returns ``(codes, alts)`` where ``alts[i]`` is a pair of parallel
+        arrays ``(alt_codes, alt_scores)`` for position ``i``, sorted by
+        ascending score (the best perturbation first).  Scores are
+        *incremental costs*: non-negative, relative to the unperturbed
+        hash value, and additive across positions — the conventions the
+        probing-sequence generators rely on.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support multi-probe alternatives"
+        )
+
+    def collision_probability(self, dist: float) -> float:
+        """Closed-form ``Pr[h(o) = h(q)]`` at distance ``dist`` (if known)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form collision probability"
+        )
+
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _hash_batch(self, data: np.ndarray) -> np.ndarray:
+        """Hash a validated ``(n, dim)`` float batch into ``(n, m)`` int64."""
+
+    def size_bytes(self) -> int:
+        """Memory held by the family's parameters (projections etc.)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(dim={self.dim}, m={self.m}, seed={self.seed})"

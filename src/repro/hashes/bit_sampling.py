@@ -1,0 +1,62 @@
+"""Bit sampling LSH family for Hamming distance (Indyk & Motwani).
+
+``h_i(o) = o[c_i]`` for a random coordinate ``c_i``; collision
+probability ``1 - Hamming(o, q)/d``.  The paper highlights this family as
+the extreme where hashing costs ``eta(d) = O(1)``, which motivates the
+``alpha = 1/(1-rho)`` setting of LCCS-LSH (verify O(1) candidates).
+
+Works for any discrete alphabet, not just bits: the sampled coordinate's
+value is the hash code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hashes.base import HashFamily, PositionAlternatives
+from repro.theory.collision import bit_sampling_collision_probability
+
+__all__ = ["BitSamplingFamily"]
+
+
+class BitSamplingFamily(HashFamily):
+    """``m`` random-coordinate samplers; codes are the coordinate values."""
+
+    metric = "hamming"
+    supports_probing = True
+
+    def __init__(self, dim: int, m: int, seed: Optional[int] = None):
+        super().__init__(dim, m, seed)
+        # Sampling WITH replacement keeps the functions i.i.d., as the
+        # theory (and the paper's independence assumption) requires.
+        self.coords = self.rng.integers(0, dim, size=m)
+
+    def _hash_batch(self, data: np.ndarray) -> np.ndarray:
+        return data[:, self.coords].astype(np.int64)
+
+    def query_alternatives(
+        self, q: np.ndarray, max_alternatives: int = 8
+    ) -> Tuple[np.ndarray, List[PositionAlternatives]]:
+        q = np.asarray(q)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must have shape ({self.dim},), got {q.shape}")
+        codes = q[self.coords].astype(np.int64)
+        if not np.isin(np.unique(q), (0, 1)).all():
+            raise ValueError(
+                "bit-sampling alternatives are only defined for binary data"
+            )
+        alts: List[PositionAlternatives] = []
+        for i in range(self.m):
+            # The only alternative for a bit is its flip; unit score.
+            alts.append(
+                (np.array([1 - codes[i]], dtype=np.int64), np.array([1.0]))
+            )
+        return codes, alts
+
+    def collision_probability(self, dist: float) -> float:
+        return bit_sampling_collision_probability(dist, self.dim)
+
+    def size_bytes(self) -> int:
+        return int(self.coords.nbytes)

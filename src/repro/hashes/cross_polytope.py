@@ -1,0 +1,112 @@
+"""Cross-polytope LSH family for Angular distance.
+
+Paper §2.2, Eq. 3: rotate the unit vector by a random matrix and snap to
+the nearest vertex of the cross-polytope ``{+-e_i}``.  The collision
+probability follows Eq. 4 and the hash quality Eq. 5.
+
+**Substitution note (DESIGN.md §4):** the paper's family uses a full
+``d x d`` Gaussian rotation per hash function; storing ``m`` of those for
+``d = 960`` costs gigabytes.  Like FALCONN's "last CP dimension" option,
+we compose a Gaussian projection into ``cp_dim`` dimensions with the
+vertex snap.  This is still a valid cross-polytope family member (the
+projected vector is again isotropic Gaussian conditioned on the data),
+with ``cp_dim`` playing the role of ``d`` in Eq. 4, and it keeps the
+memory at ``O(m * d * cp_dim)``.
+
+Multi-probe alternatives follow FALCONN: the candidate vertices of one
+rotation are ranked by their distance to the rotated query,
+``|y - (+-e_j)|^2 = 2 - 2*(+-y_j)``, so the score of vertex ``(j, sign)``
+is ``-sign * y_j`` (the chosen vertex has the minimum).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hashes.base import HashFamily, PositionAlternatives
+from repro.theory.collision import cp_collision_probability
+
+__all__ = ["CrossPolytopeFamily"]
+
+
+class CrossPolytopeFamily(HashFamily):
+    """``m`` cross-polytope LSH functions on the unit sphere.
+
+    Hash codes lie in ``{0, ..., 2*cp_dim - 1}``: code ``2j`` is vertex
+    ``+e_j`` and ``2j + 1`` is ``-e_j``.
+
+    Args:
+        dim: input dimensionality (inputs are l2-normalised internally).
+        m: number of hash functions.
+        cp_dim: dimensionality of the cross-polytope (see module docs).
+        seed: RNG seed.
+    """
+
+    metric = "angular"
+    supports_probing = True
+
+    def __init__(
+        self,
+        dim: int,
+        m: int,
+        cp_dim: int = 32,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dim, m, seed)
+        if cp_dim < 1:
+            raise ValueError("cp_dim must be >= 1")
+        self.cp_dim = int(cp_dim)
+        # One (dim, cp_dim) Gaussian block per hash function, stored stacked
+        # so hashing a batch is a single matmul.
+        self.proj = self.rng.normal(0.0, 1.0, size=(dim, m * cp_dim))
+
+    # ------------------------------------------------------------------
+
+    def _rotate(self, data: np.ndarray) -> np.ndarray:
+        """Normalised inputs -> ``(n, m, cp_dim)`` rotated vectors."""
+        norms = np.linalg.norm(data, axis=1, keepdims=True)
+        if np.any(norms == 0.0):
+            raise ValueError("cross-polytope hashing requires nonzero vectors")
+        z = (data / norms) @ self.proj
+        return z.reshape(len(data), self.m, self.cp_dim)
+
+    def _hash_batch(self, data: np.ndarray) -> np.ndarray:
+        z = self._rotate(data)
+        j = np.argmax(np.abs(z), axis=2)
+        signs = np.take_along_axis(z, j[:, :, None], axis=2)[:, :, 0] < 0.0
+        return (2 * j + signs).astype(np.int64)
+
+    def query_alternatives(
+        self, q: np.ndarray, max_alternatives: int = 8
+    ) -> Tuple[np.ndarray, List[PositionAlternatives]]:
+        q = np.asarray(q, dtype=np.float64)
+        z = self._rotate(q[None, :])[0]  # (m, cp_dim)
+        # Scores of all 2*cp_dim vertices: score(2j) = -y_j, score(2j+1) = +y_j.
+        all_scores = np.empty((self.m, 2 * self.cp_dim))
+        all_scores[:, 0::2] = -z
+        all_scores[:, 1::2] = z
+        codes = np.argmin(all_scores, axis=1).astype(np.int64)
+        # Normalise to incremental costs >= 0 relative to the chosen vertex
+        # (the interface convention; see HashFamily.query_alternatives).
+        all_scores = all_scores - all_scores.min(axis=1, keepdims=True)
+        alts: List[PositionAlternatives] = []
+        n_alt = min(max_alternatives, 2 * self.cp_dim - 1)
+        for i in range(self.m):
+            order = np.argsort(all_scores[i], kind="stable")
+            # order[0] is the chosen vertex; alternatives start at 1.
+            chosen = order[1 : 1 + n_alt]
+            alts.append(
+                (chosen.astype(np.int64), all_scores[i][chosen])
+            )
+        return codes, alts
+
+    def collision_probability(self, dist: float) -> float:
+        """Eq. 4 estimate; ``dist`` is *angular* distance in radians."""
+        # Convert the angle to chordal (Euclidean-on-sphere) distance.
+        tau = float(2.0 * np.sin(dist / 2.0))
+        return cp_collision_probability(tau, self.cp_dim)
+
+    def size_bytes(self) -> int:
+        return int(self.proj.nbytes)

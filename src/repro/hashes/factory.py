@@ -1,0 +1,66 @@
+"""Construct the default LSH family for a metric.
+
+The paper pairs Euclidean distance with the random projection family and
+Angular distance with the cross-polytope family; Hamming gets bit
+sampling and Jaccard gets MinHash.  ``make_family`` is the single place
+indexes go through, so schemes stay family-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hashes.base import HashFamily
+from repro.hashes.bit_sampling import BitSamplingFamily
+from repro.hashes.cauchy_projection import CauchyProjectionFamily
+from repro.hashes.cross_polytope import CrossPolytopeFamily
+from repro.hashes.hyperplane import HyperplaneFamily
+from repro.hashes.minhash import MinHashFamily
+from repro.hashes.random_projection import RandomProjectionFamily
+
+__all__ = ["make_family"]
+
+
+def make_family(
+    metric: str,
+    dim: int,
+    m: int,
+    seed: Optional[int] = None,
+    w: float = 4.0,
+    cp_dim: int = 32,
+    angular_family: str = "cross_polytope",
+) -> HashFamily:
+    """Default family for ``metric`` with ``m`` hash functions.
+
+    Args:
+        metric: ``euclidean`` | ``angular`` | ``hamming`` | ``jaccard``.
+        dim: input dimensionality.
+        m: number of hash functions.
+        seed: RNG seed.
+        w: bucket width for the random projection family (Euclidean).
+        cp_dim: cross-polytope dimension (Angular).
+        angular_family: ``cross_polytope`` (paper default) or
+            ``hyperplane``.
+    """
+    metric = metric.lower()
+    if metric == "euclidean":
+        return RandomProjectionFamily(dim, m, w=w, seed=seed)
+    if metric == "manhattan":
+        return CauchyProjectionFamily(dim, m, w=w, seed=seed)
+    if metric == "angular":
+        if angular_family == "cross_polytope":
+            return CrossPolytopeFamily(dim, m, cp_dim=cp_dim, seed=seed)
+        if angular_family == "hyperplane":
+            return HyperplaneFamily(dim, m, seed=seed)
+        raise ValueError(
+            f"unknown angular family {angular_family!r}; "
+            "use 'cross_polytope' or 'hyperplane'"
+        )
+    if metric == "hamming":
+        return BitSamplingFamily(dim, m, seed=seed)
+    if metric == "jaccard":
+        return MinHashFamily(dim, m, seed=seed)
+    raise ValueError(
+        f"no LSH family for metric {metric!r}; "
+        "supported: euclidean, manhattan, angular, hamming, jaccard"
+    )

@@ -1,0 +1,59 @@
+"""Hyperplane (sign random projection) LSH family for Angular distance.
+
+Charikar's SRP: ``h_a(o) = sign(a . o)`` with ``a ~ N(0, I)``; collision
+probability ``1 - theta/pi``.  The paper cites this family as the one the
+cross-polytope family supersedes; we include it both as a baseline family
+and because its exact closed-form collision probability makes it ideal
+for statistical tests of the LCCS machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hashes.base import HashFamily, PositionAlternatives
+from repro.theory.collision import hyperplane_collision_probability
+
+__all__ = ["HyperplaneFamily"]
+
+
+class HyperplaneFamily(HashFamily):
+    """``m`` sign-random-projection functions; codes are 0/1."""
+
+    metric = "angular"
+    supports_probing = True
+
+    def __init__(self, dim: int, m: int, seed: Optional[int] = None):
+        super().__init__(dim, m, seed)
+        self.proj = self.rng.normal(0.0, 1.0, size=(dim, m))
+
+    def _hash_batch(self, data: np.ndarray) -> np.ndarray:
+        return (data @ self.proj >= 0.0).astype(np.int64)
+
+    def query_alternatives(
+        self, q: np.ndarray, max_alternatives: int = 8
+    ) -> Tuple[np.ndarray, List[PositionAlternatives]]:
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.dim,):
+            raise ValueError(f"query must have shape ({self.dim},), got {q.shape}")
+        raw = q @ self.proj
+        codes = (raw >= 0.0).astype(np.int64)
+        alts: List[PositionAlternatives] = []
+        for i in range(self.m):
+            # Single alternative: flip the bit; cost = squared margin.
+            alts.append(
+                (
+                    np.array([1 - codes[i]], dtype=np.int64),
+                    np.array([raw[i] * raw[i]]),
+                )
+            )
+        return codes, alts
+
+    def collision_probability(self, dist: float) -> float:
+        """``dist`` is angular distance (radians)."""
+        return hyperplane_collision_probability(dist)
+
+    def size_bytes(self) -> int:
+        return int(self.proj.nbytes)

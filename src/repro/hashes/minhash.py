@@ -1,0 +1,79 @@
+"""MinHash LSH family for Jaccard distance (Broder).
+
+``h_pi(S) = min_{x in S} pi(x)`` for a random permutation ``pi`` of the
+universe; ``Pr[h(A) = h(B)] = Jaccard similarity``.
+
+The permutation surrogate is a per-function 64-bit avalanche mixer
+(splitmix64 finaliser keyed by a random seed), *not* the textbook
+``(a*x + b) mod P``: 2-universal linear hashing is not min-wise
+independent, and on structured sets (e.g. overlapping index intervals)
+its collision rate is measurably biased away from the Jaccard
+similarity — our statistical tests caught a 5-sigma deviation.  The
+avalanche mixer behaves like a random permutation for this purpose.
+
+Included to demonstrate the LSH-family-independence of LCCS-LSH on set
+data (paper §2.1 "supports the distance metrics iff there exist LSH
+families for them").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hashes.base import HashFamily
+from repro.theory.collision import minhash_collision_probability
+
+__all__ = ["MinHashFamily"]
+
+#: value reserved for the empty set (real hashes hit it w.p. ~2^-64)
+EMPTY_SENTINEL = np.iinfo(np.int64).max
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser over a uint64 array (wrapping arithmetic)."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class MinHashFamily(HashFamily):
+    """``m`` MinHash functions over indicator vectors of a universe.
+
+    Inputs are ``(n, dim)`` arrays whose nonzero entries mark set
+    membership.  Empty sets hash to a reserved sentinel, so two empty
+    sets always collide.
+    """
+
+    metric = "jaccard"
+    supports_probing = False
+
+    def __init__(self, dim: int, m: int, seed: Optional[int] = None):
+        super().__init__(dim, m, seed)
+        self.seeds = self.rng.integers(
+            0, np.iinfo(np.uint64).max, size=m, dtype=np.uint64
+        )
+
+    def _hash_batch(self, data: np.ndarray) -> np.ndarray:
+        n = len(data)
+        out = np.full((n, self.m), EMPTY_SENTINEL, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            for i in range(n):
+                items = np.flatnonzero(data[i]).astype(np.uint64)
+                if len(items) == 0:
+                    continue
+                vals = _splitmix64(items[None, :] ^ self.seeds[:, None])
+                # Shift into non-negative int64 so codes sort sanely.
+                out[i] = (vals.min(axis=1) >> np.uint64(1)).astype(np.int64)
+        return out
+
+    def collision_probability(self, dist: float) -> float:
+        return minhash_collision_probability(dist)
+
+    def size_bytes(self) -> int:
+        return int(self.seeds.nbytes)

@@ -1,0 +1,53 @@
+"""Theoretical models: collision probabilities, LCCS length law, Table 1."""
+
+from repro.theory.collision import (
+    bit_sampling_collision_probability,
+    cauchy_collision_probability,
+    cp_collision_probability,
+    cp_rho,
+    hyperplane_collision_probability,
+    minhash_collision_probability,
+    rho,
+    rp_collision_probability,
+)
+from repro.theory.complexity import (
+    ComplexityRow,
+    lccs_lambda_for_alpha,
+    lccs_m_for_alpha,
+    table1_rows,
+)
+from repro.theory.recall_model import RecallModel, predicted_recall, suggest_lambda
+from repro.theory.lccs_distribution import (
+    approx_cdf,
+    exact_cdf,
+    exact_pmf,
+    median_length,
+    quantile_length,
+    simulate_lccs_lengths,
+    theorem51_lambda,
+)
+
+__all__ = [
+    "ComplexityRow",
+    "RecallModel",
+    "approx_cdf",
+    "bit_sampling_collision_probability",
+    "cauchy_collision_probability",
+    "cp_collision_probability",
+    "cp_rho",
+    "exact_cdf",
+    "exact_pmf",
+    "hyperplane_collision_probability",
+    "lccs_lambda_for_alpha",
+    "lccs_m_for_alpha",
+    "median_length",
+    "minhash_collision_probability",
+    "quantile_length",
+    "rho",
+    "rp_collision_probability",
+    "predicted_recall",
+    "simulate_lccs_lengths",
+    "suggest_lambda",
+    "table1_rows",
+    "theorem51_lambda",
+]

@@ -1,0 +1,100 @@
+"""Analytical space/time complexity models (paper Table 1).
+
+Table 1 of the paper compares E2LSH, C2LSH, and LCCS-LSH under three
+settings of the knob ``alpha`` that controls the hash-string length
+``m = O(n^(alpha * rho))``.  These models return *estimated operation
+counts* (up to constant factors) so the benchmark can print the table and
+check empirical scaling against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ComplexityRow", "table1_rows", "lccs_m_for_alpha", "lccs_lambda_for_alpha"]
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One row of paper Table 1, both symbolic and evaluated."""
+
+    method: str
+    alpha: str
+    m: str
+    lam: str
+    space: str
+    indexing_time: str
+    query_time: str
+
+    def as_tuple(self):
+        return (
+            self.method,
+            self.alpha,
+            self.m,
+            self.lam,
+            self.space,
+            self.indexing_time,
+            self.query_time,
+        )
+
+
+def table1_rows() -> tuple:
+    """The symbolic rows of paper Table 1."""
+    return (
+        ComplexityRow(
+            "E2LSH", "-", "-", "-",
+            "O(n^(1+rho))", "O(n^(1+rho) eta(d) log n)",
+            "O(n^rho (eta(d) log n + d))",
+        ),
+        ComplexityRow(
+            "C2LSH", "-", "-", "-",
+            "O(n log n)", "O(n log n (eta(d) + log n))", "O(n log n)",
+        ),
+        ComplexityRow(
+            "LCCS-LSH", "0", "O(1)", "O(n)",
+            "O(n)", "O(n (eta(d) + log n))", "O(n d)",
+        ),
+        ComplexityRow(
+            "LCCS-LSH", "1", "O(n^rho)", "O(n^rho)",
+            "O(n^(1+rho))", "O(n^(1+rho) (eta(d) + log n))",
+            "O(n^rho (eta(d) + d + log n))",
+        ),
+        ComplexityRow(
+            "LCCS-LSH", "1/(1-rho)", "O(n^(rho/(1-rho)))", "O(1)",
+            "O(n^(1/(1-rho)))", "O(n^(1/(1-rho)) (eta(d) + log n))",
+            "O(n^(rho/(1-rho)) (eta(d) + log n) + d)",
+        ),
+    )
+
+
+def lccs_m_for_alpha(n: int, rho: float, alpha: float, scale: float = 1.0) -> int:
+    """Hash-string length ``m = scale * n^(alpha * rho)`` (Corollary 5.1).
+
+    ``alpha`` must lie in ``[0, 1/(1-rho)]``; at ``alpha = 0`` the
+    exponent vanishes and ``m`` is a constant.
+    """
+    if n <= 1:
+        raise ValueError("n must exceed 1")
+    if not 0.0 < rho < 1.0:
+        raise ValueError("rho must be in (0, 1)")
+    if not 0.0 <= alpha <= 1.0 / (1.0 - rho) + 1e-12:
+        raise ValueError("alpha must be in [0, 1/(1-rho)]")
+    m = scale * (n ** (alpha * rho))
+    return max(2, int(round(m)))
+
+
+def lccs_lambda_for_alpha(n: int, rho: float, alpha: float, scale: float = 1.0) -> int:
+    """Candidate budget ``lambda = scale * m^(1-1/rho) * n`` for a given alpha.
+
+    Substituting ``m = n^(alpha*rho)`` gives ``lambda = n^(1+alpha(rho-1))``:
+    ``O(n)`` at ``alpha=0``, ``O(n^rho)`` at ``alpha=1``, ``O(1)`` at
+    ``alpha = 1/(1-rho)``.
+    """
+    if n <= 1:
+        raise ValueError("n must exceed 1")
+    if not 0.0 < rho < 1.0:
+        raise ValueError("rho must be in (0, 1)")
+    lam = scale * (n ** (1.0 + alpha * (rho - 1.0)))
+    return max(1, int(round(lam)))

@@ -1,0 +1,174 @@
+"""The distribution of the LCCS length between random hash strings.
+
+For two length-``m`` strings whose characters match independently with
+probability ``p``, the LCCS length is the longest *circular* run of
+matches among ``m`` Bernoulli(p) trials.  The paper works with the CDF
+``F_{m,p}(x) = Pr[|LCCS| <= x]`` and approximates it for large ``m`` by
+an extreme-value (Gumbel-like) law (Lemma 5.2):
+
+    ``F_{m,p}(x) ~ exp(-m * (1 - p) * p^x)``
+
+We provide the *exact* CDF via dynamic programming (used as the oracle in
+tests and for tight parameter selection), the paper's approximation, the
+quantile formulas (Eq. 6-7), and the candidate budget ``lambda`` of
+Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "exact_cdf",
+    "exact_pmf",
+    "approx_cdf",
+    "median_length",
+    "quantile_length",
+    "theorem51_lambda",
+    "simulate_lccs_lengths",
+]
+
+
+def _validate_mp(m: int, p: float) -> None:
+    if m <= 0:
+        raise ValueError("string length m must be positive")
+    if not 0.0 < p < 1.0:
+        raise ValueError("match probability p must be in (0, 1)")
+
+
+@lru_cache(maxsize=4096)
+def _exact_cdf_cached(m: int, p: float, x: int) -> float:
+    """Pr[longest circular run of 1s among m Bernoulli(p) trials <= x]."""
+    if x < 0:
+        return 0.0
+    if x >= m:
+        return 1.0
+    q = 1.0 - p
+    # Condition on J = number of leading ones (position of first zero).
+    # Given J = j <= x, the remaining r = m - 1 - j trials form a linear
+    # sequence; the circular longest run is
+    #   max(maxrun(suffix), trailing_run(suffix) + j).
+    # g[t] = Pr[linear sequence so far has maxrun <= x and trailing run t].
+    # We need, for each j in 0..x, the suffix length r_j = m - 1 - j with
+    # the trailing run restricted to <= x - j.
+    # Iterate r upward once, capturing the needed sums on the way.
+    needed = {m - 1 - j: j for j in range(0, min(x, m - 1) + 1)}
+    g = np.zeros(x + 1, dtype=np.float64)
+    g[0] = 1.0
+    total = 0.0
+    if 0 in needed:  # j = m - 1: suffix empty; trailing run 0 <= x - j needed
+        j = needed[0]
+        if x - j >= 0:
+            total += (p ** j) * q  # g sum with t <= x - j is 1 (t = 0)
+    for r in range(1, m):
+        new = np.empty_like(g)
+        new[0] = q * g.sum()
+        if x >= 1:
+            new[1:] = p * g[:-1]
+        g = new
+        if r in needed:
+            j = needed[r]
+            t_cap = x - j
+            if t_cap >= 0:
+                total += (p ** j) * q * g[: t_cap + 1].sum()
+    # The all-ones circle has run m > x and contributes nothing.
+    return float(min(max(total, 0.0), 1.0))
+
+
+def exact_cdf(m: int, p: float, x: Union[int, float]) -> float:
+    """Exact ``F_{m,p}(x) = Pr[|LCCS| <= x]`` via dynamic programming."""
+    _validate_mp(m, p)
+    return _exact_cdf_cached(m, float(p), int(math.floor(x)))
+
+
+def exact_pmf(m: int, p: float) -> np.ndarray:
+    """Exact probability mass function of the LCCS length, length ``m+1``."""
+    _validate_mp(m, p)
+    cdf = np.array([exact_cdf(m, p, x) for x in range(-1, m + 1)])
+    return np.diff(cdf)
+
+
+def approx_cdf(m: int, p: float, x: Union[int, float]) -> float:
+    """The paper's extreme-value approximation (Lemma 5.2).
+
+    ``F_hat(x) = exp(-p^(x - log_{1/p}(m(1-p)))) = exp(-m(1-p)p^x)``.
+    """
+    _validate_mp(m, p)
+    return float(math.exp(-m * (1.0 - p) * (p ** float(x))))
+
+
+def median_length(m: int, p: float) -> float:
+    """Median of the approximate LCCS length distribution (paper Eq. 6).
+
+    ``x_{1/2,p} = log_p(ln 2) + log_{1/p}(m (1 - p))``.
+    """
+    _validate_mp(m, p)
+    return math.log(math.log(2.0), p) + math.log(m * (1.0 - p), 1.0 / p)
+
+
+def quantile_length(m: int, p: float, quantile: float) -> float:
+    """The ``quantile``-level point of the approximate distribution.
+
+    For ``quantile = 1 - k/n`` this is the paper's Eq. 7:
+    ``x_{1-k/n,p} = log_p(-ln(1 - k/n)) + log_{1/p}(m(1-p))``.
+    """
+    _validate_mp(m, p)
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    return math.log(-math.log(quantile), p) + math.log(m * (1.0 - p), 1.0 / p)
+
+
+def theorem51_lambda(m: int, n: int, p1: float, p2: float) -> float:
+    """Candidate budget ``lambda`` from Theorem 5.1.
+
+    ``lambda = m^{1-1/rho} * n * (1-p1)^{-1/rho} * (1-p2) * (ln 2)^{1/rho} / p2``
+    with ``rho = ln(1/p1)/ln(1/p2)``.  This is the budget for which the
+    (R, c)-NNS succeeds with probability >= 1/4.
+    """
+    _validate_mp(m, p1)
+    if not 0.0 < p2 < p1 < 1.0:
+        raise ValueError("need 0 < p2 < p1 < 1")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rho = math.log(1.0 / p1) / math.log(1.0 / p2)
+    lam = (
+        (m ** (1.0 - 1.0 / rho))
+        * n
+        * ((1.0 - p1) ** (-1.0 / rho))
+        * (1.0 - p2)
+        * (math.log(2.0) ** (1.0 / rho))
+        / p2
+    )
+    return float(lam)
+
+
+def simulate_lccs_lengths(
+    m: int, p: float, n_samples: int, seed: int = 0
+) -> np.ndarray:
+    """Monte Carlo samples of the LCCS length (circular longest match run).
+
+    Used by the tests to validate :func:`exact_cdf` and the paper's
+    approximation.
+    """
+    _validate_mp(m, p)
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    rng = np.random.default_rng(seed)
+    matches = rng.random(size=(n_samples, m)) < p
+    doubled = np.concatenate([matches, matches], axis=1)
+    out = np.zeros(n_samples, dtype=np.int64)
+    # Longest run in the doubled sequence, capped at m, equals the
+    # longest circular run.
+    for i in range(n_samples):
+        row = doubled[i]
+        best = run = 0
+        for v in row:
+            run = run + 1 if v else 0
+            if run > best:
+                best = run
+        out[i] = min(best, m)
+    return out

@@ -1,0 +1,167 @@
+"""Analytical recall model for LCCS-LSH parameter tuning.
+
+Combines the two halves of the paper's theory into a practical advisor:
+
+* the LSH family gives the per-position match probability ``p(dist)``
+  (paper Eq. 2/4), and
+* the LCCS length law ``F_{m,p}`` (paper §5.1) gives the distribution of
+  ``|LCCS(H(o), H(q))|`` for a point at distance ``dist``.
+
+A point is returned by a ``lambda``-candidate query iff its LCCS length
+ranks in the top ``lambda`` among all points.  Modelling the ranks with
+the independence assumption of Theorem 5.1, we can *predict* recall for
+a given ``(m, lambda)`` from a sample of NN and background distances,
+and invert the prediction to suggest the cheapest ``lambda`` hitting a
+recall target.  The benchmark compares predicted vs measured recall
+(model-vs-measurement is itself a reproduction artefact of §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hashes.base import HashFamily
+from repro.theory.lccs_distribution import exact_cdf
+
+__all__ = ["RecallModel", "predicted_recall", "suggest_lambda"]
+
+
+@dataclass(frozen=True)
+class RecallModel:
+    """Distributions needed to predict LCCS-LSH recall.
+
+    Attributes:
+        m: hash-string length.
+        nn_match_probs: per-position match probabilities for the true
+            neighbours (one entry per sampled NN distance).
+        bg_match_probs: match probabilities for background (non-NN)
+            points.
+        n_background: how many background points each query competes
+            against.
+    """
+
+    m: int
+    nn_match_probs: np.ndarray
+    bg_match_probs: np.ndarray
+    n_background: int
+
+    @classmethod
+    def from_family(
+        cls,
+        family: HashFamily,
+        nn_distances: Sequence[float],
+        background_distances: Sequence[float],
+        n_background: int,
+        m: Optional[int] = None,
+    ) -> "RecallModel":
+        """Build the model from sampled distances via the family's p(dist)."""
+        nn = np.array(
+            [family.collision_probability(float(d)) for d in nn_distances]
+        )
+        bg = np.array(
+            [family.collision_probability(float(d)) for d in background_distances]
+        )
+        if len(nn) == 0 or len(bg) == 0:
+            raise ValueError("need at least one NN and one background distance")
+        return cls(
+            m=int(m if m is not None else family.m),
+            nn_match_probs=nn,
+            bg_match_probs=bg,
+            n_background=int(n_background),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _clip(self, p: float) -> float:
+        return float(min(max(p, 1e-6), 1.0 - 1e-6))
+
+    def background_threshold(self, lam: int) -> int:
+        """Smallest LCCS length ``x`` such that, in expectation, fewer
+        than ``lam`` background points reach length ``> x``.
+
+        The background is a *mixture* over the sampled match
+        probabilities (quantised to limit DP evaluations): real datasets
+        have a heavy tail of closer-than-average non-NN points (cluster
+        members), and a single mean probability underestimates how many
+        of them out-rank the true neighbours.
+        """
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        probs = np.array([self._clip(p) for p in self.bg_match_probs])
+        # Quantise to two decimals; keep weights.
+        quantised = np.round(probs, 2)
+        values, counts = np.unique(quantised, return_counts=True)
+        weights = counts / counts.sum()
+        for x in range(self.m + 1):
+            tail = sum(
+                wt * (1.0 - exact_cdf(self.m, self._clip(float(p)), x))
+                for p, wt in zip(values, weights)
+            )
+            if self.n_background * tail < lam:
+                return x
+        return self.m
+
+    def predicted_recall(self, lam: int) -> float:
+        """Probability that a true NN out-ranks the background cutoff.
+
+        A neighbour with match probability ``p1`` is found if its LCCS
+        length exceeds the background threshold ``x*`` (the length rank
+        at which ``lambda`` candidates are exhausted).
+        """
+        x_star = self.background_threshold(lam)
+        probs = [
+            1.0 - exact_cdf(self.m, self._clip(p1), x_star - 1)
+            for p1 in self.nn_match_probs
+        ]
+        return float(np.mean(probs))
+
+    def suggest_lambda(
+        self, target_recall: float, max_lambda: Optional[int] = None
+    ) -> Optional[int]:
+        """Smallest ``lambda`` whose predicted recall meets the target.
+
+        Returns None if the target is unreachable below ``max_lambda``
+        (callers should then increase ``m`` instead — the paper's other
+        knob).
+        """
+        if not 0.0 < target_recall <= 1.0:
+            raise ValueError("target_recall must be in (0, 1]")
+        cap = max_lambda if max_lambda is not None else self.n_background
+        lam = 1
+        while lam <= cap:
+            if self.predicted_recall(lam) >= target_recall:
+                return lam
+            lam *= 2
+        return None
+
+
+def predicted_recall(
+    family: HashFamily,
+    nn_distances: Sequence[float],
+    background_distances: Sequence[float],
+    n_background: int,
+    lam: int,
+) -> float:
+    """One-shot convenience wrapper around :class:`RecallModel`."""
+    model = RecallModel.from_family(
+        family, nn_distances, background_distances, n_background
+    )
+    return model.predicted_recall(lam)
+
+
+def suggest_lambda(
+    family: HashFamily,
+    nn_distances: Sequence[float],
+    background_distances: Sequence[float],
+    n_background: int,
+    target_recall: float,
+) -> Optional[int]:
+    """One-shot convenience wrapper around :class:`RecallModel`."""
+    model = RecallModel.from_family(
+        family, nn_distances, background_distances, n_background
+    )
+    return model.suggest_lambda(target_recall)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic datasets and ground truths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import compute_ground_truth, gaussian_clusters, split_queries
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test (no cross-test coupling)."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def clustered():
+    """A small, well-clustered Euclidean workload: (data, queries, gt10)."""
+    raw = gaussian_clusters(1200, 24, n_clusters=12, cluster_std=0.08, seed=7)
+    data, queries = split_queries(raw, 20, seed=8)
+    gt = compute_ground_truth(data, queries, k=10, metric="euclidean")
+    return data, queries, gt
+
+
+@pytest.fixture(scope="session")
+def clustered_angular():
+    """Unit-norm clustered workload with angular ground truth."""
+    raw = gaussian_clusters(1200, 24, n_clusters=12, cluster_std=0.08, seed=9)
+    raw /= np.linalg.norm(raw, axis=1, keepdims=True)
+    data, queries = split_queries(raw, 20, seed=10)
+    gt = compute_ground_truth(data, queries, k=10, metric="angular")
+    return data, queries, gt

@@ -1,0 +1,14 @@
+"""Shared helpers for index tests."""
+
+from __future__ import annotations
+
+
+def average_recall(index, queries, gt, k=10, **query_kwargs):
+    """Mean recall of ``index`` over a query batch against exact truth."""
+    from repro.eval import recall
+
+    total = 0.0
+    for i, q in enumerate(queries):
+        ids, _ = index.query(q, k=k, **query_kwargs)
+        total += recall(ids, gt.indices[i, :k])
+    return total / len(queries)

@@ -1,0 +1,222 @@
+"""Tests for every baseline index (paper §6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    C2LSH,
+    E2LSH,
+    FALCONN,
+    LinearScan,
+    MultiProbeLSH,
+    QALSH,
+    SRS,
+)
+
+from tests.helpers import average_recall
+
+
+# ----------------------------------------------------------------------
+# Linear scan (exactness oracle)
+# ----------------------------------------------------------------------
+
+def test_linear_scan_is_exact(clustered):
+    data, queries, gt = clustered
+    index = LinearScan(dim=24).fit(data)
+    for i, q in enumerate(queries):
+        ids, dists = index.query(q, k=10)
+        assert ids.tolist() == gt.indices[i].tolist()
+        assert np.allclose(dists, gt.distances[i])
+
+
+def test_linear_scan_k_exceeds_n(rng):
+    data = rng.normal(size=(5, 4))
+    index = LinearScan(dim=4).fit(data)
+    ids, dists = index.query(data[0], k=50)
+    assert len(ids) == 5
+
+
+# ----------------------------------------------------------------------
+# E2LSH (static concatenating framework)
+# ----------------------------------------------------------------------
+
+def test_e2lsh_recall_reasonable(clustered):
+    data, queries, gt = clustered
+    index = E2LSH(dim=24, K=4, L=32, w=1.0, seed=1).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.6
+
+
+def test_e2lsh_duplicate_always_found(clustered):
+    data, _, _ = clustered
+    index = E2LSH(dim=24, K=4, L=8, w=1.0, seed=2).fit(data)
+    ids, dists = index.query(data[3], k=1)
+    assert ids[0] == 3 and dists[0] == 0.0
+
+
+def test_e2lsh_more_tables_monotone(clustered):
+    data, queries, gt = clustered
+    recalls = []
+    for L in (2, 8, 32):
+        index = E2LSH(dim=24, K=6, L=L, w=1.0, seed=3).fit(data)
+        recalls.append(average_recall(index, queries, gt, k=10))
+    assert recalls[0] <= recalls[-1] + 0.05  # allow sampling noise
+
+
+def test_e2lsh_angular_adaptation(clustered_angular):
+    """The paper adapts E2LSH to angular distance via cross-polytope."""
+    data, queries, gt = clustered_angular
+    index = E2LSH(
+        dim=24, K=1, L=16, metric="angular", cp_dim=8, seed=4
+    ).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.5
+
+
+def test_e2lsh_validation():
+    with pytest.raises(ValueError):
+        E2LSH(dim=8, K=0, L=4)
+    with pytest.raises(ValueError):
+        E2LSH(dim=8, K=4, L=0)
+
+
+def test_e2lsh_index_size_grows_with_L(clustered):
+    data, _, _ = clustered
+    small = E2LSH(dim=24, K=4, L=4, w=1.0, seed=5).fit(data)
+    large = E2LSH(dim=24, K=4, L=32, w=1.0, seed=5).fit(data)
+    assert large.index_size_bytes() > small.index_size_bytes()
+
+
+# ----------------------------------------------------------------------
+# Multi-Probe LSH
+# ----------------------------------------------------------------------
+
+def test_multiprobe_beats_home_buckets_at_same_tables(clustered):
+    data, queries, gt = clustered
+    mp = MultiProbeLSH(dim=24, K=6, L=4, w=1.0, n_probes=4, seed=6).fit(data)
+    base = average_recall(mp, queries, gt, k=10, n_probes=4)
+    probed = average_recall(mp, queries, gt, k=10, n_probes=64)
+    assert probed > base
+
+
+def test_multiprobe_probe_budget_respected(clustered):
+    data, queries, _ = clustered
+    mp = MultiProbeLSH(dim=24, K=4, L=4, w=1.0, n_probes=20, seed=7).fit(data)
+    mp.query(queries[0], k=5)
+    assert mp.last_stats["probes"] == 20
+
+
+def test_multiprobe_validation():
+    with pytest.raises(ValueError):
+        MultiProbeLSH(dim=8, n_probes=0)
+
+
+# ----------------------------------------------------------------------
+# FALCONN-style
+# ----------------------------------------------------------------------
+
+def test_falconn_recall_on_angular(clustered_angular):
+    data, queries, gt = clustered_angular
+    index = FALCONN(
+        dim=24, K=1, L=8, n_probes=32, cp_dim=8, seed=8
+    ).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.7
+
+
+def test_falconn_multiprobe_improves(clustered_angular):
+    data, queries, gt = clustered_angular
+    index = FALCONN(dim=24, K=2, L=4, n_probes=4, cp_dim=8, seed=9).fit(data)
+    base = average_recall(index, queries, gt, k=10, n_probes=4)
+    probed = average_recall(index, queries, gt, k=10, n_probes=64)
+    assert probed >= base
+
+
+# ----------------------------------------------------------------------
+# C2LSH
+# ----------------------------------------------------------------------
+
+def test_c2lsh_recall(clustered):
+    data, queries, gt = clustered
+    index = C2LSH(dim=24, m=32, l=8, w=1.0, beta=0.05, seed=10).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.6
+
+
+def test_c2lsh_counts_work(clustered):
+    data, queries, _ = clustered
+    index = C2LSH(dim=24, m=16, l=4, w=1.0, seed=11).fit(data)
+    index.query(queries[0], k=5)
+    assert index.last_stats["collision_countings"] >= len(data)
+    assert index.last_stats["rounds"] >= 1
+
+
+def test_c2lsh_threshold_validation():
+    with pytest.raises(ValueError):
+        C2LSH(dim=8, m=8, l=9)
+    with pytest.raises(ValueError):
+        C2LSH(dim=8, m=8, l=0)
+    with pytest.raises(ValueError):
+        C2LSH(dim=8, m=8, c=1.0)
+
+
+# ----------------------------------------------------------------------
+# QALSH
+# ----------------------------------------------------------------------
+
+def test_qalsh_recall(clustered):
+    data, queries, gt = clustered
+    index = QALSH(dim=24, m=32, l=8, w=1.0, beta=0.05, seed=12).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.6
+
+
+def test_qalsh_window_sweep_is_bounded(clustered):
+    data, queries, _ = clustered
+    index = QALSH(dim=24, m=16, l=4, w=1.0, seed=13).fit(data)
+    index.query(queries[0], k=5)
+    # Every (function, object) pair is swept at most once.
+    assert index.last_stats["collision_countings"] <= 16 * len(data)
+
+
+def test_qalsh_validation():
+    with pytest.raises(ValueError):
+        QALSH(dim=8, m=8, l=0)
+    with pytest.raises(ValueError):
+        QALSH(dim=8, w=-1.0)
+
+
+# ----------------------------------------------------------------------
+# SRS
+# ----------------------------------------------------------------------
+
+def test_srs_recall(clustered):
+    data, queries, gt = clustered
+    index = SRS(dim=24, d_proj=8, c=1.5, max_fraction=0.2, seed=14).fit(data)
+    rec = average_recall(index, queries, gt, k=10)
+    assert rec >= 0.7
+
+
+def test_srs_examines_bounded_candidates(clustered):
+    data, queries, _ = clustered
+    index = SRS(dim=24, d_proj=6, c=4.0, max_fraction=0.01, seed=15).fit(data)
+    index.query(queries[0], k=5)
+    assert index.last_stats["candidates"] <= max(5, int(0.01 * len(data)))
+
+
+def test_srs_exact_duplicate_found(clustered):
+    data, _, _ = clustered
+    index = SRS(dim=24, d_proj=8, c=2.0, seed=16).fit(data)
+    ids, dists = index.query(data[11], k=1)
+    assert ids[0] == 11 and dists[0] == 0.0
+
+
+def test_srs_validation():
+    with pytest.raises(ValueError):
+        SRS(dim=8, d_proj=0)
+    with pytest.raises(ValueError):
+        SRS(dim=8, c=0.5)
+    with pytest.raises(ValueError):
+        SRS(dim=8, p_tau=1.5)
+    with pytest.raises(ValueError):
+        SRS(dim=8, max_fraction=0.0)

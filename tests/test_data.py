@@ -1,0 +1,177 @@
+"""Tests for synthetic generators, the dataset registry, and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_SPECS,
+    binary_strings,
+    compute_ground_truth,
+    dataset_names,
+    exact_knn,
+    gaussian_clusters,
+    load_dataset,
+    sift_like,
+    sparse_sets,
+    split_queries,
+    uniform_hypercube,
+)
+from repro.data.synthetic import embedding_like
+from repro.distances import pairwise
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def test_gaussian_clusters_shape_and_determinism():
+    a = gaussian_clusters(100, 8, seed=1)
+    b = gaussian_clusters(100, 8, seed=1)
+    assert a.shape == (100, 8)
+    assert np.array_equal(a, b)
+    c = gaussian_clusters(100, 8, seed=2)
+    assert not np.array_equal(a, c)
+
+
+def test_gaussian_clusters_are_clustered():
+    """Within-cluster spread must be far below the global spread."""
+    data = gaussian_clusters(500, 16, n_clusters=5, cluster_std=0.05, seed=3)
+    global_std = data.std()
+    q = data[0]
+    dists = np.sort(pairwise(data[1:], q, "euclidean"))
+    # nearest neighbours are much closer than the median point
+    assert dists[5] < 0.2 * np.median(dists)
+    assert global_std > 0
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        gaussian_clusters(0, 4)
+    with pytest.raises(ValueError):
+        gaussian_clusters(10, 0)
+    with pytest.raises(ValueError):
+        gaussian_clusters(10, 4, n_clusters=0)
+    with pytest.raises(ValueError):
+        uniform_hypercube(0, 4)
+    with pytest.raises(ValueError):
+        binary_strings(10, 8, flip_prob=1.5)
+    with pytest.raises(ValueError):
+        sparse_sets(10, 50, overlap=0.0)
+
+
+def test_sift_like_value_range():
+    data = sift_like(200, seed=4)
+    assert data.shape == (200, 128)
+    assert data.min() >= 0.0
+    assert data.max() <= 255.0
+    assert np.allclose(data, np.rint(data))  # integer-valued
+
+
+def test_embedding_like_normalised():
+    data = embedding_like(100, 32, seed=5, normalize=True)
+    assert np.allclose(np.linalg.norm(data, axis=1), 1.0)
+
+
+def test_binary_strings_binary():
+    data = binary_strings(50, 32, seed=6)
+    assert set(np.unique(data)) <= {0, 1}
+
+
+def test_sparse_sets_sizes():
+    data = sparse_sets(50, 300, avg_size=20, seed=7)
+    sizes = data.sum(axis=1)
+    assert (sizes >= 1).all()
+    assert sizes.mean() == pytest.approx(20, rel=0.3)
+
+
+def test_split_queries_disjoint():
+    data = uniform_hypercube(100, 4, seed=8)
+    base, queries = split_queries(data, 10, seed=9)
+    assert len(base) == 90 and len(queries) == 10
+    # every original row appears exactly once across the two splits
+    joined = np.vstack([base, queries])
+    assert np.array_equal(
+        np.sort(joined, axis=0), np.sort(data, axis=0)
+    )
+    with pytest.raises(ValueError):
+        split_queries(data, 100)
+
+
+# ----------------------------------------------------------------------
+# Dataset registry (paper Table 2)
+# ----------------------------------------------------------------------
+
+def test_registry_matches_paper_dimensions():
+    dims = {name: spec.dim for name, spec in DATASET_SPECS.items()}
+    assert dims == {
+        "msong": 420, "sift": 128, "gist": 960, "glove": 100, "deep": 256
+    }
+    assert dataset_names() == ("msong", "sift", "gist", "glove", "deep")
+
+
+@pytest.mark.parametrize("name", ["sift", "glove"])
+def test_load_dataset_contract(name):
+    ds = load_dataset(name, n=300, n_queries=20, seed=1)
+    assert ds.n == 300
+    assert ds.n_queries == 20
+    assert ds.dim == DATASET_SPECS[name].dim
+    assert "euclidean" in ds.metrics
+    assert ds.size_bytes() > 0
+    again = load_dataset(name, n=300, n_queries=20, seed=1)
+    assert np.array_equal(ds.data, again.data)
+    assert np.array_equal(ds.queries, again.queries)
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(KeyError):
+        load_dataset("imagenet", n=10)
+    with pytest.raises(ValueError):
+        load_dataset("sift", n=10, n_queries=0)
+
+
+def test_deep_dataset_is_unit_norm():
+    ds = load_dataset("deep", n=100, n_queries=5, seed=2)
+    assert np.allclose(np.linalg.norm(ds.data, axis=1), 1.0)
+
+
+# ----------------------------------------------------------------------
+# Ground truth
+# ----------------------------------------------------------------------
+
+def test_exact_knn_matches_naive(rng):
+    data = rng.normal(size=(80, 6))
+    q = rng.normal(size=6)
+    ids, dists = exact_knn(data, q, 7, "euclidean")
+    naive = np.sort(pairwise(data, q, "euclidean"))[:7]
+    assert np.allclose(dists, naive)
+    assert len(ids) == 7
+
+
+def test_exact_knn_clamps_k(rng):
+    data = rng.normal(size=(4, 3))
+    ids, _ = exact_knn(data, data[0], 10)
+    assert len(ids) == 4
+
+
+def test_exact_knn_validation(rng):
+    with pytest.raises(ValueError):
+        exact_knn(np.empty((0, 3)), np.zeros(3), 1)
+    with pytest.raises(ValueError):
+        exact_knn(rng.normal(size=(5, 3)), np.zeros(3), 0)
+
+
+def test_compute_ground_truth_shape(rng):
+    data = rng.normal(size=(60, 5))
+    queries = rng.normal(size=(7, 5))
+    gt = compute_ground_truth(data, queries, k=4)
+    assert gt.indices.shape == (7, 4)
+    assert gt.distances.shape == (7, 4)
+    assert gt.k == 4
+    assert len(gt) == 7
+    # distances ascending per row
+    assert (np.diff(gt.distances, axis=1) >= 0).all()
+
+
+def test_compute_ground_truth_validation(rng):
+    with pytest.raises(ValueError):
+        compute_ground_truth(rng.normal(size=(5, 3)), rng.normal(size=3), 2)

@@ -1,0 +1,152 @@
+"""Unit and property tests for repro.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distances import (
+    METRICS,
+    angular,
+    cosine,
+    euclidean,
+    get_metric,
+    hamming,
+    jaccard,
+    normalize_rows,
+    pairwise,
+    squared_euclidean,
+)
+
+vectors = hnp.arrays(
+    np.float64,
+    st.integers(2, 16),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+
+def test_euclidean_known_value():
+    assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+
+def test_squared_euclidean_known_value():
+    assert squared_euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(25.0)
+
+
+def test_angular_orthogonal_vectors():
+    assert angular([1.0, 0.0], [0.0, 1.0]) == pytest.approx(np.pi / 2)
+
+
+def test_angular_identical_vectors():
+    assert angular([1.0, 2.0], [2.0, 4.0]) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_angular_opposite_vectors():
+    assert angular([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(np.pi)
+
+
+def test_angular_zero_vector_raises():
+    with pytest.raises(ValueError):
+        angular([0.0, 0.0], [1.0, 0.0])
+
+
+def test_cosine_matches_angular_ordering():
+    a = np.array([1.0, 0.2])
+    b = np.array([0.5, 0.9])
+    c = np.array([-1.0, 0.1])
+    assert cosine(a, b) < cosine(a, c)
+    assert angular(a, b) < angular(a, c)
+
+
+def test_hamming_counts_mismatches():
+    assert hamming([0, 1, 1, 0], [1, 1, 0, 0]) == 2.0
+
+
+def test_jaccard_known_value():
+    # sets {0,1} and {1,2}: intersection 1, union 3
+    assert jaccard([1, 1, 0], [0, 1, 1]) == pytest.approx(1 - 1 / 3)
+
+
+def test_jaccard_empty_sets_is_zero():
+    assert jaccard([0, 0], [0, 0]) == 0.0
+
+
+@given(vectors)
+@settings(max_examples=50)
+def test_euclidean_identity(v):
+    assert euclidean(v, v) == pytest.approx(0.0)
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_euclidean_symmetry(data):
+    d = data.draw(st.integers(2, 12))
+    elems = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+    a = np.array(data.draw(st.lists(elems, min_size=d, max_size=d)))
+    b = np.array(data.draw(st.lists(elems, min_size=d, max_size=d)))
+    assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_triangle_inequality_euclidean(data):
+    d = data.draw(st.integers(2, 8))
+    elems = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+    pts = [
+        np.array(data.draw(st.lists(elems, min_size=d, max_size=d)))
+        for _ in range(3)
+    ]
+    a, b, c = pts
+    assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+
+@pytest.mark.parametrize("metric", sorted(set(METRICS) - {"jaccard", "hamming"}))
+def test_pairwise_matches_scalar(metric, rng):
+    data = rng.normal(size=(50, 8)) + 0.5
+    q = rng.normal(size=8) + 0.5
+    batch = pairwise(data, q, metric)
+    fn = get_metric(metric)
+    for i in range(len(data)):
+        assert batch[i] == pytest.approx(fn(data[i], q), abs=1e-9)
+
+
+@pytest.mark.parametrize("metric", ["hamming", "jaccard"])
+def test_pairwise_matches_scalar_discrete(metric, rng):
+    data = (rng.random(size=(50, 12)) < 0.4).astype(np.int64)
+    q = (rng.random(size=12) < 0.4).astype(np.int64)
+    batch = pairwise(data, q, metric)
+    fn = get_metric(metric)
+    for i in range(len(data)):
+        assert batch[i] == pytest.approx(fn(data[i], q))
+
+
+def test_pairwise_rejects_bad_shapes(rng):
+    with pytest.raises(ValueError):
+        pairwise(rng.normal(size=(5,)), rng.normal(size=5), "euclidean")
+    with pytest.raises(ValueError):
+        pairwise(rng.normal(size=(5, 3)), rng.normal(size=4), "euclidean")
+
+
+def test_unknown_metric_raises():
+    with pytest.raises(KeyError, match="unknown metric"):
+        get_metric("mahalanobis")
+    with pytest.raises(KeyError, match="unknown metric"):
+        pairwise(np.zeros((2, 2)), np.zeros(2), "mahalanobis")
+
+
+def test_normalize_rows_unit_norm(rng):
+    data = rng.normal(size=(20, 6))
+    out = normalize_rows(data)
+    assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+
+def test_normalize_rows_single_vector():
+    out = normalize_rows(np.array([3.0, 4.0]))
+    assert out.shape == (2,)
+    assert np.allclose(out, [0.6, 0.8])
+
+
+def test_normalize_rows_zero_raises():
+    with pytest.raises(ValueError):
+        normalize_rows(np.zeros((2, 3)))

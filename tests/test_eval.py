@@ -1,0 +1,171 @@
+"""Tests for evaluation metrics, harness, grid search, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro import LCCSLSH
+from repro.baselines import LinearScan
+from repro.data import compute_ground_truth, gaussian_clusters, split_queries
+from repro.eval import (
+    EvalResult,
+    banner,
+    evaluate,
+    format_curve,
+    format_results,
+    format_table,
+    grid,
+    overall_ratio,
+    pareto_frontier,
+    recall,
+    sweep,
+    time_at_recall,
+)
+
+
+# ----------------------------------------------------------------------
+# recall / ratio
+# ----------------------------------------------------------------------
+
+def test_recall_basic():
+    assert recall(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+    assert recall(np.array([1, 9, 8]), np.array([1, 2, 3])) == pytest.approx(1 / 3)
+    assert recall(np.array([]), np.array([1, 2])) == 0.0
+
+
+def test_recall_ignores_padding():
+    assert recall(np.array([1, -1, -1]), np.array([1, 2])) == 0.5
+
+
+def test_recall_validation():
+    with pytest.raises(ValueError):
+        recall(np.array([1]), np.array([]))
+
+
+def test_overall_ratio_basic():
+    assert overall_ratio(np.array([2.0, 4.0]), np.array([1.0, 2.0])) == 2.0
+    assert overall_ratio(np.array([1.0]), np.array([1.0])) == 1.0
+
+
+def test_overall_ratio_short_result():
+    # only the returned prefix is scored
+    assert overall_ratio(np.array([3.0]), np.array([1.0, 1.0])) == 3.0
+    assert overall_ratio(np.array([]), np.array([1.0])) == float("inf")
+
+
+def test_overall_ratio_zero_distances():
+    assert overall_ratio(np.array([0.0]), np.array([0.0])) == 1.0
+    assert overall_ratio(np.array([1.0]), np.array([0.0])) == float("inf")
+
+
+def test_overall_ratio_validation():
+    with pytest.raises(ValueError):
+        overall_ratio(np.array([1.0]), np.array([]))
+
+
+# ----------------------------------------------------------------------
+# evaluate
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_workload():
+    raw = gaussian_clusters(400, 12, n_clusters=8, cluster_std=0.1, seed=21)
+    data, queries = split_queries(raw, 10, seed=22)
+    gt = compute_ground_truth(data, queries, k=10)
+    return data, queries, gt
+
+
+def test_evaluate_linear_scan_perfect(small_workload):
+    data, queries, gt = small_workload
+    res = evaluate(LinearScan(dim=12), data, queries, gt, k=10)
+    assert res.recall == 1.0
+    assert res.ratio == pytest.approx(1.0)
+    assert res.avg_query_time_ms > 0
+    assert res.method == "LinearScan"
+
+
+def test_evaluate_records_params_and_stats(small_workload):
+    data, queries, gt = small_workload
+    idx = LCCSLSH(dim=12, m=16, w=1.0, seed=1)
+    res = evaluate(
+        idx, data, queries, gt, k=5,
+        query_kwargs={"num_candidates": 30}, params={"m": 16},
+    )
+    assert res.params == {"m": 16}
+    assert res.stats["candidates"] > 0
+    assert res.index_size_mb > 0
+
+
+def test_evaluate_validation(small_workload):
+    data, queries, gt = small_workload
+    with pytest.raises(ValueError):
+        evaluate(LinearScan(dim=12), data, queries, gt, k=99)
+    with pytest.raises(ValueError):
+        evaluate(LinearScan(dim=12), data, queries[:3], gt, k=5)
+
+
+# ----------------------------------------------------------------------
+# grid / sweep / pareto
+# ----------------------------------------------------------------------
+
+def test_grid_cartesian_product():
+    combos = grid(a=[1, 2], b=["x"])
+    assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+    assert grid() == [{}]
+
+
+def test_sweep_reuses_builds(small_workload):
+    data, queries, gt = small_workload
+    results = sweep(
+        lambda m: LCCSLSH(dim=12, m=m, w=1.0, seed=2),
+        grid(m=[8, 16]),
+        data, queries, gt, k=5,
+        query_grid=grid(num_candidates=[10, 40]),
+    )
+    assert len(results) == 4
+    # identical build params share identical build times (same object)
+    by_m = {}
+    for r in results:
+        by_m.setdefault(r.params["m"], set()).add(r.build_time_s)
+    assert all(len(v) == 1 for v in by_m.values())
+
+
+def _mk(recall_, time_):
+    return EvalResult(
+        method="x", k=10, recall=recall_, ratio=1.0,
+        avg_query_time_ms=time_, build_time_s=0.0, index_size_mb=0.0,
+    )
+
+
+def test_pareto_frontier_removes_dominated():
+    results = [_mk(0.5, 10.0), _mk(0.6, 5.0), _mk(0.7, 20.0), _mk(0.4, 50.0)]
+    frontier = pareto_frontier(results)
+    assert [(r.recall, r.avg_query_time_ms) for r in frontier] == [
+        (0.6, 5.0), (0.7, 20.0)
+    ]
+
+
+def test_time_at_recall():
+    results = [_mk(0.5, 10.0), _mk(0.9, 30.0), _mk(0.95, 25.0)]
+    best = time_at_recall(results, 0.9)
+    assert best.avg_query_time_ms == 25.0
+    assert time_at_recall(results, 0.99) is None
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.34567], ["xyz", 5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "2.346" in out
+    assert "xyz" in out
+
+
+def test_format_results_and_curve():
+    out = format_results([_mk(0.5, 10.0)])
+    assert "recall%" in out and "50" in out
+    curve = format_curve("LCCS-LSH", [(50.0, 1.2), (90.0, 8.0)])
+    assert "LCCS-LSH" in curve and "(50, 1.2)" in curve
+    assert banner("Figure 4").count("=") > 0

@@ -1,0 +1,339 @@
+"""Tests for the beyond-paper extensions: l1 family, naive CSA ablation,
+dynamic index, (R,c)-NNS interface, CLI."""
+
+import numpy as np
+import pytest
+
+from repro import DynamicLCCSLSH, LCCSLSH, NaiveCSA
+from repro.core import CircularShiftArray, brute_force_k_lccs, lccs_length
+from repro.data import compute_ground_truth, gaussian_clusters, split_queries
+from repro.distances import manhattan, pairwise
+from repro.hashes import CauchyProjectionFamily, make_family
+from repro.theory import cauchy_collision_probability
+
+from tests.helpers import average_recall
+
+
+# ----------------------------------------------------------------------
+# Manhattan metric + Cauchy projection family
+# ----------------------------------------------------------------------
+
+def test_manhattan_matches_pairwise(rng):
+    data = rng.normal(size=(30, 6))
+    q = rng.normal(size=6)
+    batch = pairwise(data, q, "manhattan")
+    for i in range(30):
+        assert batch[i] == pytest.approx(manhattan(data[i], q))
+
+
+def test_cauchy_collision_formula_limits():
+    assert cauchy_collision_probability(0.0, 4.0) == 1.0
+    assert cauchy_collision_probability(1e9, 4.0) < 0.01
+    probs = [cauchy_collision_probability(t, 4.0) for t in (0.5, 1, 2, 4, 8)]
+    assert all(probs[i] > probs[i + 1] for i in range(len(probs) - 1))
+    with pytest.raises(ValueError):
+        cauchy_collision_probability(1.0, 0.0)
+
+
+def test_cauchy_collision_monte_carlo(rng):
+    """Per-function collision rate matches the closed form."""
+    w, tau, d = 4.0, 3.0, 8
+    fam = CauchyProjectionFamily(d, 4000, w=w, seed=1)
+    o = np.zeros(d)
+    q = np.zeros(d)
+    q[0] = tau  # l1 distance exactly tau
+    emp = float((fam.hash(o) == fam.hash(q)).mean())
+    assert cauchy_collision_probability(tau, w) == pytest.approx(emp, abs=0.03)
+
+
+def test_factory_builds_cauchy():
+    fam = make_family("manhattan", 8, 4, w=2.0)
+    assert isinstance(fam, CauchyProjectionFamily)
+    assert fam.metric == "manhattan"
+
+
+def test_lccs_lsh_end_to_end_manhattan(rng):
+    raw = gaussian_clusters(800, 16, n_clusters=10, cluster_std=0.08, seed=41)
+    data, queries = split_queries(raw, 15, seed=42)
+    gt = compute_ground_truth(data, queries, k=10, metric="manhattan")
+    w = 2.0 * float(np.mean(gt.distances))
+    index = LCCSLSH(dim=16, m=32, metric="manhattan", w=w, seed=1).fit(data)
+    rec = average_recall(index, queries, gt, k=10, num_candidates=120)
+    assert rec >= 0.8
+
+
+def test_cauchy_alternatives_convention(rng):
+    fam = CauchyProjectionFamily(8, 6, w=4.0, seed=2)
+    q = rng.normal(size=8)
+    codes, alts = fam.query_alternatives(q, max_alternatives=4)
+    for i in range(6):
+        alt_codes, alt_scores = alts[i]
+        assert (alt_scores >= 0).all()
+        assert (np.diff(alt_scores) >= -1e-12).all()
+        assert all(c != codes[i] for c in alt_codes)
+
+
+# ----------------------------------------------------------------------
+# Naive CSA (the paper's "simple method") — ablation correctness
+# ----------------------------------------------------------------------
+
+def test_naive_csa_matches_csa(rng):
+    strings = rng.integers(0, 3, size=(60, 10))
+    naive = NaiveCSA(strings)
+    fast = CircularShiftArray(strings)
+    for _ in range(15):
+        q = rng.integers(0, 3, size=10)
+        ids_n, lens_n = naive.k_lccs(q, 12)
+        ids_f, lens_f = fast.k_lccs(q, 12)
+        assert lens_n.tolist() == lens_f.tolist()
+        # both must report true LCCS lengths
+        for i, l in zip(ids_n, lens_n):
+            assert lccs_length(strings[i], q) == l
+
+
+def test_naive_csa_exact_vs_oracle(rng):
+    strings = rng.integers(0, 4, size=(40, 8))
+    naive = NaiveCSA(strings)
+    q = rng.integers(0, 4, size=8)
+    ids, lens = naive.k_lccs(q, 10)
+    oracle = brute_force_k_lccs(strings, q, 10)
+    want = sorted((lccs_length(strings[i], q) for i in oracle), reverse=True)
+    assert sorted(lens.tolist(), reverse=True) == want
+
+
+# ----------------------------------------------------------------------
+# DynamicLCCSLSH
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def dyn_workload(rng):
+    raw = gaussian_clusters(600, 12, n_clusters=8, cluster_std=0.08, seed=51)
+    data, extra = split_queries(raw, 100, seed=52)
+    return data, extra
+
+
+def test_dynamic_insert_then_query_finds_new_point(dyn_workload):
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(dim=12, m=16, w=1.0, seed=1).fit(data)
+    handle = index.insert(extra[0])
+    ids, dists = index.query(extra[0], k=1, num_candidates=50)
+    assert ids[0] == handle
+    assert dists[0] == 0.0
+
+
+def test_dynamic_delete_removes_point(dyn_workload):
+    data, _ = dyn_workload
+    index = DynamicLCCSLSH(dim=12, m=16, w=1.0, seed=1).fit(data)
+    ids, _ = index.query(data[5], k=1, num_candidates=50)
+    assert ids[0] == 5
+    index.delete(5)
+    ids, _ = index.query(data[5], k=3, num_candidates=50)
+    assert 5 not in ids.tolist()
+    with pytest.raises(KeyError):
+        index.delete(5)
+    with pytest.raises(KeyError):
+        index.delete(10**6)
+
+
+def test_dynamic_rebuild_triggers(dyn_workload):
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(
+        dim=12, m=16, w=1.0, seed=1, rebuild_threshold=0.05
+    ).fit(data)
+    before = index.rebuilds
+    for v in extra[:40]:
+        index.insert(v)
+    assert index.rebuilds > before
+    assert index.buffer_size <= 0.05 * index.live_count + 1
+
+
+def test_dynamic_handles_stable_across_rebuilds(dyn_workload):
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(
+        dim=12, m=16, w=1.0, seed=1, rebuild_threshold=0.02
+    ).fit(data)
+    handles = [index.insert(v) for v in extra[:30]]  # forces rebuilds
+    for h, v in zip(handles, extra[:30]):
+        assert np.allclose(index.get_vector(h), v)
+        ids, dists = index.query(v, k=1, num_candidates=80)
+        assert ids[0] == h and dists[0] == 0.0
+
+
+def test_dynamic_live_count_accounting(dyn_workload):
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(dim=12, m=16, w=1.0, seed=1).fit(data)
+    n0 = index.live_count
+    h = index.insert(extra[0])
+    assert index.live_count == n0 + 1
+    index.delete(h)
+    assert index.live_count == n0
+
+
+def test_dynamic_recall_after_churn(dyn_workload):
+    """After heavy churn the index still answers accurately."""
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(
+        dim=12, m=24, w=1.0, seed=1, rebuild_threshold=0.1
+    ).fit(data)
+    for v in extra[:50]:
+        index.insert(v)
+    for h in range(0, 50, 2):
+        index.delete(h)
+    all_live = np.vstack(
+        [index.get_vector(h) for h in range(len(data) + 50)
+         if h not in index._dead]
+    )
+    queries = extra[50:60]
+    live_handles = [
+        h for h in range(len(data) + 50) if h not in index._dead
+    ]
+    gt = compute_ground_truth(all_live, queries, k=5, metric="euclidean")
+    hits = 0
+    for i, q in enumerate(queries):
+        ids, _ = index.query(q, k=5, num_candidates=100)
+        true_handles = {live_handles[j] for j in gt.indices[i]}
+        hits += len(true_handles & set(ids.tolist()))
+    assert hits / (5 * len(queries)) >= 0.8
+
+
+def test_dynamic_validation(dyn_workload):
+    data, _ = dyn_workload
+    with pytest.raises(ValueError):
+        DynamicLCCSLSH(dim=12, rebuild_threshold=0.0)
+    index = DynamicLCCSLSH(dim=12, m=16, w=1.0, seed=1)
+    with pytest.raises(RuntimeError):
+        index.insert(np.zeros(12))
+    index.fit(data)
+    with pytest.raises(ValueError):
+        index.insert(np.zeros(5))
+
+
+# ----------------------------------------------------------------------
+# (R, c)-NNS decision interface (paper Definition 2.2 / Theorem 5.1)
+# ----------------------------------------------------------------------
+
+def test_query_rc_finds_near_point(clustered):
+    data, queries, gt = clustered
+    index = LCCSLSH(dim=24, m=32, w=1.0, seed=1).fit(data)
+    # Radius chosen so the true NN is inside R for these queries.
+    hits = 0
+    for i, q in enumerate(queries):
+        R = float(gt.distances[i, 0]) * 1.1
+        out = index.query_rc(q, R=R, c=2.0)
+        if out is not None:
+            pid, dist = out
+            assert dist <= 2.0 * R + 1e-9
+            hits += 1
+    # Theorem 5.1 guarantees >= 1/4; clustered data does far better.
+    assert hits / len(queries) >= 0.5
+
+
+def test_query_rc_returns_none_when_empty(clustered):
+    data, queries, _ = clustered
+    index = LCCSLSH(dim=24, m=32, w=1.0, seed=1).fit(data)
+    # A query moved far away from everything: no point within cR.
+    far_q = queries[0] + 100.0
+    assert index.query_rc(far_q, R=0.01, c=2.0) is None
+
+
+def test_query_rc_validation(clustered):
+    data, queries, _ = clustered
+    index = LCCSLSH(dim=24, m=16, w=1.0, seed=1).fit(data)
+    with pytest.raises(ValueError):
+        index.query_rc(queries[0], R=-1.0, c=2.0)
+    with pytest.raises(ValueError):
+        index.query_rc(queries[0], R=1.0, c=0.5)
+
+
+def test_theoretical_candidates_monotone(clustered):
+    data, _, _ = clustered
+    index = LCCSLSH(dim=24, m=32, w=1.0, seed=1).fit(data)
+    lam_tight = index.theoretical_candidates(R=0.2, c=4.0)
+    lam_loose = index.theoretical_candidates(R=0.2, c=1.5)
+    assert 1 <= lam_tight <= lam_loose <= index.n
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_theory(capsys):
+    from repro.cli import main
+
+    assert main(["theory", "--m", "32", "--n", "1000", "--p1", "0.8", "--p2", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "rho" in out and "lambda" in out
+
+
+def test_cli_datasets(capsys):
+    from repro.cli import main
+
+    assert main(["datasets", "--n", "200", "--queries", "5"]) == 0
+    out = capsys.readouterr().out
+    for name in ("msong", "sift", "gist", "glove", "deep"):
+        assert name in out
+
+
+def test_cli_compare_small(capsys):
+    from repro.cli import main
+
+    rc = main(
+        [
+            "compare", "--dataset", "sift", "--n", "400", "--queries", "5",
+            "--methods", "lccs,scan", "--k", "5",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "LCCS-LSH" in out and "LinearScan" in out
+
+
+def test_cli_compare_rejects_unknown_method(capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["compare", "--dataset", "sift", "--n", "200", "--queries", "4",
+         "--methods", "nonsense"]
+    )
+    assert rc == 2
+
+
+def test_cli_compare_rejects_euclidean_only_methods_on_angular(capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["compare", "--dataset", "deep", "--n", "200", "--queries", "4",
+         "--metric", "angular", "--methods", "qalsh"]
+    )
+    assert rc == 2
+
+
+def test_cli_profile(capsys):
+    from repro.cli import main
+
+    rc = main(
+        ["profile", "--dataset", "sift", "--n", "300", "--queries", "3",
+         "--m", "8", "--candidates", "10", "30"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hash(ms)" in out and "verify(ms)" in out
+
+
+def test_dynamic_delete_everything_then_insert(dyn_workload):
+    """Deleting every point must not crash rebuilds; inserts recover."""
+    data, extra = dyn_workload
+    index = DynamicLCCSLSH(
+        dim=12, m=16, w=1.0, seed=1, rebuild_threshold=0.99
+    ).fit(data[:5])
+    for h in range(5):
+        try:
+            index.delete(h)
+        except KeyError:
+            pass
+    ids, _ = index.query(extra[0], k=3, num_candidates=10)
+    assert len(ids) == 0
+    assert index.live_count == 0
+    handle = index.insert(extra[0])
+    ids, dists = index.query(extra[0], k=1, num_candidates=10)
+    assert ids[0] == handle and dists[0] == 0.0

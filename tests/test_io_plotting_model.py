@@ -1,0 +1,183 @@
+"""Tests for vector-format I/O, ASCII plotting, and the recall model."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    write_bvecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.eval import ascii_plot, plot_time_recall
+from repro.hashes import HyperplaneFamily, RandomProjectionFamily
+from repro.theory import RecallModel, predicted_recall, suggest_lambda
+
+
+# ----------------------------------------------------------------------
+# fvecs / ivecs / bvecs
+# ----------------------------------------------------------------------
+
+def test_fvecs_roundtrip(tmp_path, rng):
+    data = rng.normal(size=(20, 7)).astype(np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, data)
+    assert np.allclose(read_fvecs(path), data)
+
+
+def test_ivecs_roundtrip(tmp_path, rng):
+    data = rng.integers(-1000, 1000, size=(15, 4)).astype(np.int32)
+    path = tmp_path / "x.ivecs"
+    write_ivecs(path, data)
+    assert (read_ivecs(path) == data).all()
+
+
+def test_bvecs_roundtrip(tmp_path, rng):
+    data = rng.integers(0, 256, size=(9, 16)).astype(np.uint8)
+    path = tmp_path / "x.bvecs"
+    write_bvecs(path, data)
+    assert (read_bvecs(path) == data).all()
+
+
+def test_read_max_vectors(tmp_path, rng):
+    data = rng.normal(size=(30, 5)).astype(np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, data)
+    out = read_fvecs(path, max_vectors=7)
+    assert out.shape == (7, 5)
+    assert np.allclose(out, data[:7])
+
+
+def test_read_rejects_corrupt_files(tmp_path):
+    path = tmp_path / "bad.fvecs"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+    path.write_bytes(b"\x01\x00")
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+    # valid header but truncated body
+    path.write_bytes(np.array([3], dtype="<i4").tobytes() + b"\x00" * 5)
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+    # negative dimensionality
+    path.write_bytes(np.array([-2], dtype="<i4").tobytes())
+    with pytest.raises(ValueError):
+        read_fvecs(path)
+
+
+def test_write_rejects_bad_shapes(tmp_path):
+    with pytest.raises(ValueError):
+        write_fvecs(tmp_path / "x.fvecs", np.zeros(5))
+    with pytest.raises(ValueError):
+        write_fvecs(tmp_path / "x.fvecs", np.zeros((0, 3)))
+
+
+def test_fvecs_matches_reference_layout(tmp_path):
+    """Byte-level check against the TexMex format definition."""
+    data = np.array([[1.5, -2.0]], dtype=np.float32)
+    path = tmp_path / "x.fvecs"
+    write_fvecs(path, data)
+    raw = path.read_bytes()
+    assert raw[:4] == np.array([2], dtype="<i4").tobytes()
+    assert raw[4:] == data.astype("<f4").tobytes()
+
+
+# ----------------------------------------------------------------------
+# ASCII plotting
+# ----------------------------------------------------------------------
+
+def test_ascii_plot_contains_markers_and_legend():
+    out = ascii_plot(
+        {"a": [(0, 1), (1, 2)], "b": [(0.5, 1.5)]}, width=20, height=5
+    )
+    assert "o" in out and "x" in out
+    assert "o=a" in out and "x=b" in out
+
+
+def test_ascii_plot_log_scale():
+    out = ascii_plot(
+        {"a": [(0, 1), (1, 1000)]}, width=10, height=4, logy=True
+    )
+    assert "log10" in out
+    with pytest.raises(ValueError):
+        ascii_plot({"a": [(0, -1)]}, logy=True)
+
+
+def test_ascii_plot_validation():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"a": []})
+
+
+def test_plot_time_recall_handles_empty_series():
+    out = plot_time_recall({"a": [], "b": [(50.0, 1.0)]}, title="t")
+    assert "t" in out
+    out_empty = plot_time_recall({"a": []}, title="t")
+    assert "no series" in out_empty
+
+
+def test_single_point_plot_no_division_by_zero():
+    out = ascii_plot({"a": [(1.0, 1.0)]})
+    assert "o" in out
+
+
+# ----------------------------------------------------------------------
+# Recall model (theory/recall_model.py)
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def model():
+    fam = RandomProjectionFamily(8, 32, w=4.0, seed=0)
+    # NNs at distance 1 (p ~ 0.92), background at distance 20 (p ~ 0.16)
+    return RecallModel.from_family(
+        fam, nn_distances=[1.0] * 5, background_distances=[20.0] * 20,
+        n_background=5000,
+    )
+
+
+def test_predicted_recall_monotone_in_lambda(model):
+    values = [model.predicted_recall(lam) for lam in (1, 10, 100, 1000)]
+    assert all(values[i] <= values[i + 1] + 1e-9 for i in range(3))
+    assert 0.0 <= values[0] <= values[-1] <= 1.0
+
+
+def test_background_threshold_monotone(model):
+    # Allowing more candidates lowers the length cutoff.
+    assert model.background_threshold(1000) <= model.background_threshold(10)
+    with pytest.raises(ValueError):
+        model.background_threshold(0)
+
+
+def test_suggest_lambda_hits_target(model):
+    lam = model.suggest_lambda(0.8)
+    assert lam is not None
+    assert model.predicted_recall(lam) >= 0.8
+    assert model.suggest_lambda(0.999999, max_lambda=2) in (None, 1, 2)
+    with pytest.raises(ValueError):
+        model.suggest_lambda(0.0)
+
+
+def test_model_separates_easy_and_hard_workloads():
+    fam = RandomProjectionFamily(8, 32, w=4.0, seed=0)
+    easy = predicted_recall(fam, [0.5], [30.0], 5000, lam=50)
+    hard = predicted_recall(fam, [8.0], [12.0], 5000, lam=50)
+    assert easy > hard
+
+
+def test_model_wrapper_suggest():
+    fam = HyperplaneFamily(8, 64, seed=1)
+    lam = suggest_lambda(
+        fam, nn_distances=[0.3], background_distances=[1.4],
+        n_background=2000, target_recall=0.5,
+    )
+    assert lam is None or lam >= 1
+
+
+def test_model_validation():
+    fam = RandomProjectionFamily(8, 16, w=4.0, seed=0)
+    with pytest.raises(ValueError):
+        RecallModel.from_family(fam, [], [1.0], 100)

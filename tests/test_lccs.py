@@ -1,0 +1,176 @@
+"""Tests for the LCCS definitions and brute-force oracle (paper §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    brute_force_k_lccs,
+    compare_rotations,
+    lccs_length,
+    lcp_length,
+    shift,
+)
+from repro.core.lccs import lccs_positions
+
+strings_pair = st.integers(2, 24).flatmap(
+    lambda m: st.tuples(
+        st.lists(st.integers(0, 3), min_size=m, max_size=m),
+        st.lists(st.integers(0, 3), min_size=m, max_size=m),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# shift
+# ----------------------------------------------------------------------
+
+def test_shift_paper_convention():
+    t = np.array([1, 2, 3, 4, 5])
+    assert shift(t, 0).tolist() == [1, 2, 3, 4, 5]
+    assert shift(t, 2).tolist() == [3, 4, 5, 1, 2]
+    assert shift(t, 5).tolist() == [1, 2, 3, 4, 5]  # wraps modulo m
+    assert shift(t, 7).tolist() == [3, 4, 5, 1, 2]
+
+
+def test_shift_empty_raises():
+    with pytest.raises(ValueError):
+        shift(np.array([]), 1)
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=20), st.integers(0, 40))
+@settings(max_examples=50)
+def test_shift_composition(values, i):
+    t = np.array(values)
+    m = len(t)
+    once = shift(shift(t, i), 1)
+    direct = shift(t, i + 1)
+    assert once.tolist() == direct.tolist()
+
+
+# ----------------------------------------------------------------------
+# lcp / comparison
+# ----------------------------------------------------------------------
+
+def test_lcp_basic():
+    assert lcp_length(np.array([1, 2, 3]), np.array([1, 2, 4])) == 2
+    assert lcp_length(np.array([1, 2, 3]), np.array([1, 2, 3])) == 3
+    assert lcp_length(np.array([9, 2, 3]), np.array([1, 2, 3])) == 0
+
+
+def test_lcp_shape_mismatch():
+    with pytest.raises(ValueError):
+        lcp_length(np.array([1, 2]), np.array([1, 2, 3]))
+
+
+def test_compare_rotations_orders_lexicographically():
+    a = np.array([1, 2, 3])
+    b = np.array([1, 3, 0])
+    cmp, lcp = compare_rotations(a, b)
+    assert cmp == -1 and lcp == 1
+    cmp, lcp = compare_rotations(b, a)
+    assert cmp == 1 and lcp == 1
+    cmp, lcp = compare_rotations(a, a.copy())
+    assert cmp == 0 and lcp == 3
+
+
+# ----------------------------------------------------------------------
+# lccs_length
+# ----------------------------------------------------------------------
+
+def test_paper_figure1_example():
+    """Figure 1(c): LCCS lengths of o1, o2, o3 against q are 5, 3, 2."""
+    q = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+    o1 = np.array([1, 2, 4, 5, 6, 6, 7, 8])
+    o2 = np.array([5, 2, 2, 4, 3, 6, 7, 8])
+    o3 = np.array([3, 1, 3, 5, 5, 6, 4, 9])
+    assert lccs_length(o1, q) == 5  # [6,7,8,1,2] wrapping
+    assert lccs_length(o2, q) == 3  # [6,7,8]
+    assert lccs_length(o3, q) == 2
+
+
+def test_paper_example_31_definition():
+    """Example 3.1: common circular substrings must share positions."""
+    t = np.array([1, 2, 3, 4, 1, 5])
+    q = np.array([1, 1, 2, 3, 4, 5])
+    # [5, 1] starting at position 5 (wrapping) is a circular co-substring;
+    # [1, 2, 3, 4] is common but not position-aligned.
+    assert lccs_length(t, q) == 2
+
+
+def test_lccs_identical_and_disjoint():
+    t = np.array([1, 2, 3, 4])
+    assert lccs_length(t, t.copy()) == 4
+    assert lccs_length(t, t + 10) == 0
+
+
+def test_lccs_wrap_around_run():
+    t = np.array([7, 2, 3, 7, 7, 7])
+    q = np.array([7, 9, 9, 7, 7, 7])
+    # positions 3,4,5,0 match -> circular run of 4
+    assert lccs_length(t, q) == 4
+
+
+def test_lccs_shape_mismatch():
+    with pytest.raises(ValueError):
+        lccs_length(np.array([1, 2]), np.array([1, 2, 3]))
+
+
+@given(strings_pair)
+@settings(max_examples=100)
+def test_lccs_symmetry(pair):
+    t, q = np.array(pair[0]), np.array(pair[1])
+    assert lccs_length(t, q) == lccs_length(q, t)
+
+
+@given(strings_pair)
+@settings(max_examples=100)
+def test_lccs_equals_max_lcp_over_shifts(pair):
+    """Fact 3.1: |LCCS| = max_i |LCP(shift(T,i), shift(Q,i))|."""
+    t, q = np.array(pair[0]), np.array(pair[1])
+    m = len(t)
+    expected = max(
+        lcp_length(shift(t, i), shift(q, i)) for i in range(m)
+    )
+    assert lccs_length(t, q) == expected
+
+
+@given(strings_pair, st.integers(0, 30))
+@settings(max_examples=100)
+def test_lccs_shift_invariance(pair, i):
+    """Shifting both strings together preserves the LCCS length."""
+    t, q = np.array(pair[0]), np.array(pair[1])
+    assert lccs_length(shift(t, i), shift(q, i)) == lccs_length(t, q)
+
+
+@given(strings_pair)
+@settings(max_examples=100)
+def test_lccs_positions_consistent(pair):
+    t, q = np.array(pair[0]), np.array(pair[1])
+    start, length = lccs_positions(t, q)
+    assert length == lccs_length(t, q)
+    # The reported window must actually match position-wise.
+    m = len(t)
+    for off in range(length):
+        pos = (start + off) % m
+        assert t[pos] == q[pos]
+
+
+# ----------------------------------------------------------------------
+# brute_force_k_lccs
+# ----------------------------------------------------------------------
+
+def test_brute_force_orders_by_length(rng):
+    strings = rng.integers(0, 3, size=(30, 8))
+    q = rng.integers(0, 3, size=8)
+    top = brute_force_k_lccs(strings, q, 30)
+    lengths = [lccs_length(strings[i], q) for i in top]
+    assert lengths == sorted(lengths, reverse=True)
+
+
+def test_brute_force_validates():
+    with pytest.raises(ValueError):
+        brute_force_k_lccs(np.zeros((2, 3), dtype=int), np.zeros(3, dtype=int), 0)
+    with pytest.raises(ValueError):
+        brute_force_k_lccs(np.zeros(3, dtype=int), np.zeros(3, dtype=int), 1)

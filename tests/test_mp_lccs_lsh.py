@@ -1,0 +1,103 @@
+"""Tests for MP-LCCS-LSH (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import LCCSLSH, MPLCCSLSH
+from repro.hashes import MinHashFamily
+
+from tests.helpers import average_recall
+
+
+def test_single_probe_matches_lccs_lsh(clustered):
+    """With #probes = 1 MP-LCCS-LSH degenerates to LCCS-LSH (paper fn. 13)."""
+    data, queries, _ = clustered
+    kw = dict(dim=24, m=24, metric="euclidean", w=1.0, seed=5)
+    plain = LCCSLSH(**kw).fit(data)
+    mp = MPLCCSLSH(n_probes=1, **kw).fit(data)
+    for q in queries[:10]:
+        ids_a, dists_a = plain.query(q, k=5, num_candidates=40)
+        ids_b, dists_b = mp.query(q, k=5, num_candidates=40)
+        assert ids_a.tolist() == ids_b.tolist()
+        assert np.allclose(dists_a, dists_b)
+
+
+def test_more_probes_do_not_hurt_recall(clustered):
+    """Extra probes only add candidates, so recall is non-decreasing."""
+    data, queries, gt = clustered
+    kw = dict(dim=24, m=16, metric="euclidean", w=1.0, seed=6)
+    mp = MPLCCSLSH(n_probes=1, **kw).fit(data)
+    recalls = []
+    for probes in (1, 17, 33):
+        recalls.append(
+            average_recall(
+                mp, queries, gt, k=10, num_candidates=60, n_probes=probes
+            )
+        )
+    assert recalls[0] <= recalls[1] + 1e-9
+    assert recalls[1] <= recalls[2] + 1e-9
+
+
+def test_probing_helps_small_m(clustered):
+    """The paper's motivation: probing recovers recall when m is small."""
+    data, queries, gt = clustered
+    kw = dict(dim=24, m=8, metric="euclidean", w=1.0, seed=7)
+    mp = MPLCCSLSH(n_probes=1, **kw).fit(data)
+    base = average_recall(mp, queries, gt, k=10, num_candidates=30, n_probes=1)
+    probed = average_recall(mp, queries, gt, k=10, num_candidates=30, n_probes=65)
+    assert probed >= base
+
+
+def test_angular_multiprobe(clustered_angular):
+    data, queries, gt = clustered_angular
+    mp = MPLCCSLSH(
+        dim=24, m=16, metric="angular", cp_dim=8, seed=8, n_probes=33
+    ).fit(data)
+    rec = average_recall(mp, queries, gt, k=10, num_candidates=100)
+    assert rec >= 0.85
+
+
+def test_stats_reported(clustered):
+    data, queries, _ = clustered
+    mp = MPLCCSLSH(
+        dim=24, m=16, metric="euclidean", w=1.0, seed=9, n_probes=17
+    ).fit(data)
+    mp.query(queries[0], k=3, num_candidates=30)
+    assert mp.last_stats["probes"] == 17
+    assert mp.last_stats["probe_searches"] >= 0
+    assert mp.last_stats["candidates"] >= 3
+
+
+def test_default_probes_is_m_plus_one():
+    mp = MPLCCSLSH(dim=8, m=16, metric="euclidean", seed=0)
+    assert mp.n_probes == 17
+
+
+def test_rejects_nonprobing_family():
+    fam = MinHashFamily(50, 16, seed=1)
+    with pytest.raises(ValueError, match="multi-probe"):
+        MPLCCSLSH(dim=50, m=16, family=fam)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MPLCCSLSH(dim=8, m=8, n_probes=0)
+    with pytest.raises(ValueError):
+        MPLCCSLSH(dim=8, m=8, max_gap=0)
+    with pytest.raises(ValueError):
+        MPLCCSLSH(dim=8, m=8, max_alternatives=0)
+
+
+def test_affected_shifts_cover_modified_positions(clustered):
+    """Every shift whose window reaches a modified position is re-searched."""
+    data, _, _ = clustered
+    mp = MPLCCSLSH(
+        dim=24, m=12, metric="euclidean", w=1.0, seed=10, n_probes=5
+    ).fit(data)
+    reach = np.array([2] * 12)
+    affected = mp._affected_shifts((4,), reach)
+    # shifts 2, 3, 4 have (4 - s) % 12 <= 2
+    assert affected == [2, 3, 4]
+    # wrap-around: position 0 with reach 3 affects shifts 9, 10, 11, 0
+    affected = mp._affected_shifts((0,), np.array([3] * 12))
+    assert affected == [0, 9, 10, 11]

@@ -1,0 +1,122 @@
+"""Tests for Algorithm 3 (perturbation vector generation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import generate_perturbation_vectors, score_of
+
+
+def make_scores(rng, m, n_alt):
+    return [np.sort(rng.random(n_alt)) for _ in range(m)]
+
+
+def test_first_probe_is_empty(rng):
+    scores = make_scores(rng, 6, 3)
+    probes = list(generate_perturbation_vectors(scores, 5))
+    assert probes[0] == ()
+
+
+def test_emits_exactly_n_probes_when_available(rng):
+    scores = make_scores(rng, 8, 4)
+    probes = list(generate_perturbation_vectors(scores, 20))
+    assert len(probes) == 20
+
+
+def test_probe_count_can_be_limited_by_space():
+    # One position, one alternative: only 2 probes exist.
+    scores = [np.array([0.5])]
+    probes = list(generate_perturbation_vectors(scores, 10))
+    assert probes == [(), ((0, 0),)]
+
+
+def test_scores_are_non_decreasing(rng):
+    scores = make_scores(rng, 10, 4)
+    probes = list(generate_perturbation_vectors(scores, 64))
+    vals = [score_of(p, scores) for p in probes]
+    assert all(vals[i] <= vals[i + 1] + 1e-12 for i in range(len(vals) - 1))
+
+
+def test_no_duplicate_probes(rng):
+    scores = make_scores(rng, 10, 3)
+    probes = list(generate_perturbation_vectors(scores, 100))
+    assert len(set(probes)) == len(probes)
+
+
+def test_gap_constraint_respected(rng):
+    scores = make_scores(rng, 12, 3)
+    for max_gap in (1, 2, 3):
+        probes = generate_perturbation_vectors(scores, 200, max_gap=max_gap)
+        for p in probes:
+            positions = [pos for pos, _ in p]
+            assert positions == sorted(positions)
+            gaps = np.diff(positions)
+            assert (gaps >= 1).all() and (gaps <= max_gap).all()
+
+
+def test_all_single_modifications_eventually_emitted(rng):
+    """Algorithm 3 seeds every position, so all singletons appear."""
+    m = 6
+    scores = make_scores(rng, m, 1)
+    probes = list(generate_perturbation_vectors(scores, 1000))
+    singles = {p[0][0] for p in probes if len(p) == 1}
+    assert singles == set(range(m))
+
+
+def test_exhaustive_enumeration_small_case():
+    """With MAX_GAP=1 and m=3, all vectors are contiguous blocks."""
+    scores = [np.array([1.0]), np.array([2.0]), np.array([4.0])]
+    probes = set(generate_perturbation_vectors(scores, 100, max_gap=1))
+    expected = {
+        (),
+        ((0, 0),), ((1, 0),), ((2, 0),),
+        ((0, 0), (1, 0)), ((1, 0), (2, 0)),
+        ((0, 0), (1, 0), (2, 0)),
+    }
+    assert probes == expected
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        list(generate_perturbation_vectors([np.array([1.0])], 0))
+    with pytest.raises(ValueError):
+        list(generate_perturbation_vectors([np.array([1.0])], 5, max_gap=0))
+
+
+def test_empty_positions_skipped():
+    scores = [np.array([]), np.array([1.0]), np.array([])]
+    probes = list(generate_perturbation_vectors(scores, 10))
+    assert probes == [(), ((1, 0),)]
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_sorted_and_valid(data):
+    m = data.draw(st.integers(1, 8))
+    n_alt = data.draw(st.integers(1, 4))
+    max_gap = data.draw(st.integers(1, 3))
+    n_probes = data.draw(st.integers(1, 60))
+    raw = data.draw(
+        st.lists(
+            st.lists(
+                st.floats(0, 100, allow_nan=False), min_size=n_alt, max_size=n_alt
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    scores = [np.sort(np.array(row)) for row in raw]
+    probes = list(generate_perturbation_vectors(scores, n_probes, max_gap=max_gap))
+    assert len(probes) <= n_probes
+    assert probes[0] == ()
+    vals = [score_of(p, scores) for p in probes]
+    assert all(vals[i] <= vals[i + 1] + 1e-9 for i in range(1, len(vals) - 1))
+    for p in probes:
+        positions = [pos for pos, _ in p]
+        assert all(
+            1 <= positions[i + 1] - positions[i] <= max_gap
+            for i in range(len(positions) - 1)
+        )
+        for pos, j in p:
+            assert 0 <= pos < m and 0 <= j < len(scores[pos])

@@ -1,0 +1,152 @@
+"""Tests for the probing-sequence generator and the kd-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Atom, KDTree, probing_sequence
+
+
+# ----------------------------------------------------------------------
+# probing_sequence (Lv et al. shift/expand enumeration)
+# ----------------------------------------------------------------------
+
+def test_first_probe_is_home_bucket():
+    probes = list(probing_sequence([Atom(0, 5, 1.0)]))
+    assert probes[0] == (0.0, {})
+
+
+def test_costs_ascending(rng):
+    atoms = [
+        Atom(pos, int(code), float(cost))
+        for pos, code, cost in zip(
+            rng.integers(0, 4, 30), rng.integers(0, 100, 30), rng.random(30)
+        )
+    ]
+    probes = []
+    for i, (cost, mods) in enumerate(probing_sequence(atoms)):
+        probes.append((cost, mods))
+        if i > 100:
+            break
+    costs = [c for c, _ in probes]
+    assert all(costs[i] <= costs[i + 1] + 1e-9 for i in range(len(costs) - 1))
+
+
+def test_positions_unique_within_probe():
+    atoms = [Atom(0, 1, 0.1), Atom(0, 2, 0.2), Atom(1, 3, 0.3)]
+    for i, (cost, mods) in enumerate(probing_sequence(atoms)):
+        assert len(mods) == len(set(mods))
+        if i > 50:
+            break
+
+
+def test_enumerates_all_valid_subsets():
+    atoms = [Atom(0, 10, 1.0), Atom(1, 20, 2.0)]
+    seen = set()
+    for cost, mods in probing_sequence(atoms):
+        seen.add(tuple(sorted(mods.items())))
+    assert seen == {
+        (), ((0, 10),), ((1, 20),), ((0, 10), (1, 20)),
+    }
+
+
+def test_empty_atoms():
+    assert list(probing_sequence([])) == [(0.0, {})]
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_probing_property(data):
+    n_atoms = data.draw(st.integers(1, 8))
+    atoms = [
+        Atom(
+            data.draw(st.integers(0, 3)),
+            data.draw(st.integers(0, 50)),
+            data.draw(st.floats(0, 10, allow_nan=False)),
+        )
+        for _ in range(n_atoms)
+    ]
+    out = []
+    for i, probe in enumerate(probing_sequence(atoms)):
+        out.append(probe)
+        if i >= 60:
+            break
+    costs = [c for c, _ in out]
+    assert all(costs[i] <= costs[i + 1] + 1e-9 for i in range(len(costs) - 1))
+    # no duplicate probes
+    keys = [tuple(sorted(m.items())) for _, m in out]
+    assert len(set(keys)) == len(keys)
+
+
+# ----------------------------------------------------------------------
+# KDTree
+# ----------------------------------------------------------------------
+
+def test_kdtree_query_exact(rng):
+    pts = rng.normal(size=(200, 5))
+    tree = KDTree(pts, leaf_size=8)
+    for _ in range(10):
+        q = rng.normal(size=5)
+        ids, dists = tree.query(q, k=7)
+        true = np.sort(np.linalg.norm(pts - q, axis=1))[:7]
+        assert np.allclose(dists, true)
+
+
+def test_kdtree_iter_nearest_is_sorted(rng):
+    pts = rng.normal(size=(100, 3))
+    tree = KDTree(pts, leaf_size=4)
+    q = rng.normal(size=3)
+    dists = [d for _, d in tree.iter_nearest(q)]
+    assert len(dists) == 100
+    assert all(dists[i] <= dists[i + 1] + 1e-12 for i in range(99))
+
+
+def test_kdtree_enumerates_every_point_once(rng):
+    pts = rng.normal(size=(64, 2))
+    tree = KDTree(pts, leaf_size=4)
+    ids = [i for i, _ in tree.iter_nearest(rng.normal(size=2))]
+    assert sorted(ids) == list(range(64))
+
+
+def test_kdtree_duplicate_points(rng):
+    pts = np.tile(rng.normal(size=(1, 4)), (30, 1))
+    tree = KDTree(pts, leaf_size=4)
+    ids, dists = tree.query(pts[0], k=30)
+    assert len(ids) == 30
+    assert np.allclose(dists, 0.0)
+
+
+def test_kdtree_validation(rng):
+    with pytest.raises(ValueError):
+        KDTree(np.empty((0, 3)))
+    with pytest.raises(ValueError):
+        KDTree(rng.normal(size=10))
+    with pytest.raises(ValueError):
+        KDTree(rng.normal(size=(5, 2)), leaf_size=0)
+    tree = KDTree(rng.normal(size=(5, 2)))
+    with pytest.raises(ValueError):
+        tree.query(np.zeros(3), k=1)
+    with pytest.raises(ValueError):
+        tree.query(np.zeros(2), k=0)
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_kdtree_exactness_property(data):
+    n = data.draw(st.integers(1, 40))
+    d = data.draw(st.integers(1, 4))
+    elems = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+    pts = np.array(
+        data.draw(
+            st.lists(
+                st.lists(elems, min_size=d, max_size=d), min_size=n, max_size=n
+            )
+        )
+    )
+    q = np.array(data.draw(st.lists(elems, min_size=d, max_size=d)))
+    k = data.draw(st.integers(1, n))
+    tree = KDTree(pts, leaf_size=data.draw(st.integers(1, 8)))
+    _, dists = tree.query(q, k=k)
+    true = np.sort(np.linalg.norm(pts - q, axis=1))[:k]
+    assert np.allclose(dists, true)

@@ -1,0 +1,225 @@
+"""Cross-cutting property-based tests (hypothesis) over the whole stack."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LCCSLSH
+from repro.core import CircularShiftArray
+from repro.eval import EvalResult, grid, overall_ratio, pareto_frontier, recall
+from repro.hashes import (
+    CrossPolytopeFamily,
+    HyperplaneFamily,
+    RandomProjectionFamily,
+)
+
+
+# ----------------------------------------------------------------------
+# Pareto frontier properties
+# ----------------------------------------------------------------------
+
+def _result(recall_, time_):
+    return EvalResult(
+        method="x", k=10, recall=recall_, ratio=1.0,
+        avg_query_time_ms=time_, build_time_s=0.0, index_size_mb=0.0,
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1, allow_nan=False),
+            st.floats(0.001, 1000, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_pareto_frontier_properties(points):
+    results = [_result(r, t) for r, t in points]
+    frontier = pareto_frontier(results)
+    # Non-empty subset of the input.
+    assert frontier
+    assert all(f in results for f in frontier)
+    # No frontier point is dominated by any input point.
+    for f in frontier:
+        for other in results:
+            dominated = (
+                other.recall >= f.recall
+                and other.avg_query_time_ms < f.avg_query_time_ms
+            )
+            assert not dominated
+    # Sorted by recall, strictly increasing time along the frontier.
+    recalls = [f.recall for f in frontier]
+    times = [f.avg_query_time_ms for f in frontier]
+    assert recalls == sorted(recalls)
+    assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# grid properties
+# ----------------------------------------------------------------------
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.lists(st.integers(0, 5), min_size=1, max_size=3),
+        max_size=3,
+    )
+)
+@settings(max_examples=40)
+def test_grid_size_is_product(axes):
+    combos = grid(**axes)
+    expected = 1
+    for vals in axes.values():
+        expected *= len(vals)
+    assert len(combos) == expected
+    # every combo draws one value per axis
+    for combo in combos:
+        assert set(combo) == set(axes)
+        for key, val in combo.items():
+            assert val in axes[key]
+
+
+# ----------------------------------------------------------------------
+# recall / ratio metric properties
+# ----------------------------------------------------------------------
+
+@given(st.data())
+@settings(max_examples=60)
+def test_recall_bounds_and_monotonicity(data):
+    true_ids = np.array(
+        data.draw(
+            st.lists(st.integers(0, 50), min_size=1, max_size=10, unique=True)
+        )
+    )
+    returned = data.draw(st.lists(st.integers(0, 50), max_size=15))
+    r = recall(np.array(returned, dtype=np.int64), true_ids)
+    assert 0.0 <= r <= 1.0
+    # Adding a guaranteed hit never lowers recall.
+    boosted = recall(
+        np.array(list(returned) + [int(true_ids[0])], dtype=np.int64),
+        true_ids,
+    )
+    assert boosted >= r - 1e-12
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_ratio_at_least_one_for_sorted_truth(data):
+    k = data.draw(st.integers(1, 8))
+    true = np.sort(
+        np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.01, 100, allow_nan=False),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+        )
+    )
+    # Any method output is >= the exact distances element-wise once both
+    # are sorted, so the overall ratio is >= 1.
+    slack = np.sort(
+        np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 10, allow_nan=False), min_size=k, max_size=k
+                )
+            )
+        )
+    )
+    method = np.sort(true + slack)
+    assert overall_ratio(method, true) >= 1.0 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Family pickling and determinism
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: RandomProjectionFamily(12, 8, w=3.0, seed=5),
+        lambda: CrossPolytopeFamily(12, 8, cp_dim=4, seed=5),
+        lambda: HyperplaneFamily(12, 8, seed=5),
+    ],
+)
+def test_family_pickle_roundtrip(make, rng):
+    fam = make()
+    clone = pickle.loads(pickle.dumps(fam))
+    data = rng.normal(size=(20, 12))
+    assert (fam.hash(data) == clone.hash(data)).all()
+
+
+# ----------------------------------------------------------------------
+# End-to-end result contract for LCCS-LSH on random inputs
+# ----------------------------------------------------------------------
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_lccs_lsh_query_contract(data):
+    n = data.draw(st.integers(5, 60))
+    d = data.draw(st.integers(2, 10))
+    m = data.draw(st.sampled_from([4, 8, 16]))
+    k = data.draw(st.integers(1, 5))
+    seed = data.draw(st.integers(0, 100))
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, d))
+    q = rng.normal(size=d)
+    index = LCCSLSH(dim=d, m=m, w=2.0, seed=seed).fit(points)
+    ids, dists = index.query(q, k=k, num_candidates=n)
+    # ids valid and unique; distances sorted ascending and correct.
+    assert len(ids) == min(k, n)
+    assert len(set(ids.tolist())) == len(ids)
+    assert (ids >= 0).all() and (ids < n).all()
+    assert (np.diff(dists) >= -1e-12).all()
+    true = np.linalg.norm(points[ids] - q, axis=1)
+    assert np.allclose(dists, true)
+    # With num_candidates = n the answer is exact.
+    exact = np.sort(np.linalg.norm(points - q, axis=1))[: len(ids)]
+    assert np.allclose(np.sort(dists), exact)
+
+
+# ----------------------------------------------------------------------
+# CSA invariants on adversarial inputs
+# ----------------------------------------------------------------------
+
+def test_csa_single_column_strings():
+    strings = np.array([[3], [1], [2], [1]])
+    csa = CircularShiftArray(strings)
+    ids, lens = csa.k_lccs(np.array([1]), 4)
+    assert sorted(lens.tolist(), reverse=True) == [1, 1, 0, 0]
+
+
+def test_csa_negative_codes(rng):
+    """Hash codes can be negative (floor of projections); order must hold."""
+    strings = rng.integers(-50, 50, size=(40, 6))
+    csa = CircularShiftArray(strings)
+    from repro.core import brute_force_k_lccs, lccs_length
+
+    q = rng.integers(-50, 50, size=6)
+    ids, lens = csa.k_lccs(q, 10)
+    oracle = brute_force_k_lccs(strings, q, 10)
+    assert sorted(lens.tolist(), reverse=True) == sorted(
+        (lccs_length(strings[i], q) for i in oracle), reverse=True
+    )
+
+
+def test_csa_extreme_magnitude_codes():
+    strings = np.array(
+        [
+            [2**60, -(2**60), 0, 5],
+            [2**60, -(2**60), 0, 5],
+            [-(2**60), 2**60, 1, -5],
+        ],
+        dtype=np.int64,
+    )
+    csa = CircularShiftArray(strings)
+    ids, lens = csa.k_lccs(np.array([2**60, -(2**60), 0, 5]), 3)
+    assert lens[0] == 4 and lens[1] == 4 and lens[2] == 0

@@ -1,0 +1,169 @@
+"""Tests for the related-work baselines: LSH-Forest, SK-LSH, LSB-Forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LSBForest, LSHForest, SKLSH, zorder_interleave
+
+from tests.helpers import average_recall
+
+
+# ----------------------------------------------------------------------
+# Z-order curve
+# ----------------------------------------------------------------------
+
+def test_zorder_2d_unit_square():
+    z = zorder_interleave(np.array([[0, 0], [1, 0], [0, 1], [1, 1]]), 1)
+    # dimension 0 contributes the higher bit at each level
+    assert z.tolist() == [0, 2, 1, 3]
+
+
+def test_zorder_preserves_locality_roughly():
+    """Adjacent grid cells get close codes more often than far cells."""
+    coords = np.array([[i, j] for i in range(8) for j in range(8)])
+    z = zorder_interleave(coords, 3)
+    z_map = {tuple(c): int(v) for c, v in zip(coords, z)}
+    near_gaps = [abs(z_map[(i, j)] - z_map[(i, j + 1)])
+                 for i in range(8) for j in range(7)]
+    far_gaps = [abs(z_map[(i, 0)] - z_map[(i, 7)]) for i in range(8)]
+    assert np.median(near_gaps) < np.median(far_gaps)
+
+
+def test_zorder_handles_wide_values():
+    z = zorder_interleave(np.array([[2**15, 2**15 - 1]]), 16)
+    assert int(z[0]) > 0  # arbitrary precision, no overflow
+
+
+def test_zorder_validation():
+    with pytest.raises(ValueError):
+        zorder_interleave(np.array([1, 2]), 4)
+    with pytest.raises(ValueError):
+        zorder_interleave(np.array([[1, -2]]), 4)
+    with pytest.raises(ValueError):
+        zorder_interleave(np.array([[1, 2]]), 0)
+
+
+@given(st.data())
+@settings(max_examples=30)
+def test_zorder_injective_within_range(data):
+    bits = data.draw(st.integers(1, 8))
+    K = data.draw(st.integers(1, 3))
+    n = data.draw(st.integers(1, 20))
+    coords = np.array(
+        data.draw(
+            st.lists(
+                st.lists(st.integers(0, 2**bits - 1), min_size=K, max_size=K),
+                min_size=n, max_size=n, unique_by=tuple,
+            )
+        )
+    )
+    z = zorder_interleave(coords, bits)
+    assert len(set(z.tolist())) == len(coords)
+
+
+# ----------------------------------------------------------------------
+# LSH-Forest
+# ----------------------------------------------------------------------
+
+def test_lsh_forest_recall(clustered):
+    data, queries, gt = clustered
+    index = LSHForest(dim=24, K_max=16, L=8, w=1.0, seed=1).fit(data)
+    rec = average_recall(index, queries, gt, k=10, candidates=120)
+    assert rec >= 0.6
+
+
+def test_lsh_forest_duplicate_found(clustered):
+    data, _, _ = clustered
+    index = LSHForest(dim=24, K_max=12, L=4, w=1.0, seed=2).fit(data)
+    ids, dists = index.query(data[9], k=1, candidates=40)
+    assert ids[0] == 9 and dists[0] == 0.0
+
+
+def test_lsh_forest_budget_monotone(clustered):
+    data, queries, gt = clustered
+    index = LSHForest(dim=24, K_max=16, L=8, w=1.0, seed=3).fit(data)
+    small = average_recall(index, queries, gt, k=10, candidates=20)
+    large = average_recall(index, queries, gt, k=10, candidates=300)
+    assert large >= small - 0.05
+
+
+def test_lsh_forest_reports_depth(clustered):
+    data, queries, _ = clustered
+    index = LSHForest(dim=24, K_max=16, L=4, w=1.0, seed=4).fit(data)
+    index.query(queries[0], k=5)
+    assert 0 <= index.last_stats["depth"] <= 16
+
+
+def test_lsh_forest_validation():
+    with pytest.raises(ValueError):
+        LSHForest(dim=8, K_max=0)
+    with pytest.raises(ValueError):
+        LSHForest(dim=8, L=0)
+    with pytest.raises(ValueError):
+        LSHForest(dim=8, candidates=0)
+
+
+# ----------------------------------------------------------------------
+# SK-LSH
+# ----------------------------------------------------------------------
+
+def test_sk_lsh_recall(clustered):
+    data, queries, gt = clustered
+    index = SKLSH(dim=24, K=8, L=8, w=1.0, seed=5).fit(data)
+    rec = average_recall(index, queries, gt, k=10, probes_per_table=40)
+    assert rec >= 0.6
+
+
+def test_sk_lsh_probe_budget(clustered):
+    data, queries, _ = clustered
+    index = SKLSH(dim=24, K=6, L=4, w=1.0, seed=6).fit(data)
+    index.query(queries[0], k=5, probes_per_table=10)
+    assert index.last_stats["probed_entries"] <= 4 * 11
+    with pytest.raises(ValueError):
+        index.query(queries[0], k=5, probes_per_table=0)
+
+
+def test_sk_lsh_more_probes_monotone(clustered):
+    data, queries, gt = clustered
+    index = SKLSH(dim=24, K=8, L=8, w=1.0, seed=7).fit(data)
+    small = average_recall(index, queries, gt, k=10, probes_per_table=8)
+    large = average_recall(index, queries, gt, k=10, probes_per_table=128)
+    assert large >= small - 1e-9
+
+
+# ----------------------------------------------------------------------
+# LSB-Forest
+# ----------------------------------------------------------------------
+
+def test_lsb_forest_recall(clustered):
+    data, queries, gt = clustered
+    index = LSBForest(dim=24, K=8, L=8, w=1.0, seed=8).fit(data)
+    rec = average_recall(index, queries, gt, k=10, probes_per_table=40)
+    assert rec >= 0.6
+
+
+def test_lsb_forest_duplicate_found(clustered):
+    data, _, _ = clustered
+    index = LSBForest(dim=24, K=8, L=4, w=1.0, seed=9).fit(data)
+    ids, dists = index.query(data[21], k=1, probes_per_table=16)
+    assert ids[0] == 21 and dists[0] == 0.0
+
+
+def test_lsb_forest_validation():
+    with pytest.raises(ValueError):
+        LSBForest(dim=8, bits_per_dim=0)
+    with pytest.raises(ValueError):
+        LSBForest(dim=8, K=0)
+
+
+def test_all_related_work_index_sizes(clustered):
+    data, _, _ = clustered
+    for cls, kw in (
+        (LSHForest, dict(K_max=8, L=4)),
+        (SKLSH, dict(K=4, L=4)),
+        (LSBForest, dict(K=4, L=4)),
+    ):
+        index = cls(dim=24, w=1.0, seed=10, **kw).fit(data)
+        assert index.index_size_bytes() > 0

@@ -1,0 +1,221 @@
+"""Tests for collision probabilities, the LCCS length law, and Table 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    approx_cdf,
+    bit_sampling_collision_probability,
+    cp_collision_probability,
+    cp_rho,
+    exact_cdf,
+    exact_pmf,
+    hyperplane_collision_probability,
+    lccs_lambda_for_alpha,
+    lccs_m_for_alpha,
+    median_length,
+    minhash_collision_probability,
+    quantile_length,
+    rho,
+    rp_collision_probability,
+    simulate_lccs_lengths,
+    table1_rows,
+    theorem51_lambda,
+)
+
+
+# ----------------------------------------------------------------------
+# Collision probabilities (paper Eq. 2, 4, 5)
+# ----------------------------------------------------------------------
+
+def test_rp_collision_probability_monotone_decreasing():
+    w = 4.0
+    probs = [rp_collision_probability(tau, w) for tau in (0.5, 1, 2, 4, 8, 16)]
+    assert all(probs[i] > probs[i + 1] for i in range(len(probs) - 1))
+    assert all(0.0 <= p <= 1.0 for p in probs)
+
+
+def test_rp_collision_probability_limits():
+    assert rp_collision_probability(0.0, 4.0) == 1.0
+    assert rp_collision_probability(1e9, 4.0) < 0.01
+    # Very wide bucket always collides.
+    assert rp_collision_probability(0.1, 1e6) > 0.999
+
+
+def test_rp_collision_probability_monte_carlo(rng):
+    """Eq. 2 matches an empirical estimate with m=20k projections."""
+    w, tau, d = 4.0, 3.0, 16
+    o = np.zeros(d)
+    q = np.zeros(d)
+    q[0] = tau
+    a = rng.normal(size=(20000, d))
+    b = rng.uniform(0, w, size=20000)
+    ho = np.floor((a @ o + b) / w)
+    hq = np.floor((a @ q + b) / w)
+    emp = float((ho == hq).mean())
+    assert rp_collision_probability(tau, w) == pytest.approx(emp, abs=0.015)
+
+
+def test_rp_collision_validation():
+    with pytest.raises(ValueError):
+        rp_collision_probability(1.0, 0.0)
+    with pytest.raises(ValueError):
+        rp_collision_probability(-1.0, 1.0)
+
+
+def test_cp_collision_probability_monotone():
+    probs = [cp_collision_probability(t, 64) for t in (0.0, 0.3, 0.8, 1.3, 1.9)]
+    assert all(probs[i] > probs[i + 1] for i in range(len(probs) - 1))
+    assert probs[0] == 1.0
+
+
+def test_cp_collision_validation():
+    with pytest.raises(ValueError):
+        cp_collision_probability(2.5, 64)
+    with pytest.raises(ValueError):
+        cp_collision_probability(0.5, 1)
+
+
+def test_cp_rho_below_one_over_c_squared():
+    """Eq. 5: rho <= 1/c^2 for all R (Corollary 1 of FALCONN paper)."""
+    for c in (1.5, 2.0, 3.0):
+        for R in (0.1, 0.3, 0.5):
+            if c * R < 2.0:
+                assert cp_rho(c, R) <= 1.0 / (c * c) + 1e-12
+
+
+def test_hyperplane_collision_probability_known_values():
+    assert hyperplane_collision_probability(0.0) == 1.0
+    assert hyperplane_collision_probability(math.pi) == 0.0
+    assert hyperplane_collision_probability(math.pi / 2) == pytest.approx(0.5)
+
+
+def test_hyperplane_monte_carlo(rng):
+    theta = 1.0
+    a = np.array([1.0, 0.0])
+    b = np.array([math.cos(theta), math.sin(theta)])
+    proj = rng.normal(size=(20000, 2))
+    emp = float(((proj @ a >= 0) == (proj @ b >= 0)).mean())
+    assert hyperplane_collision_probability(theta) == pytest.approx(emp, abs=0.015)
+
+
+def test_bit_sampling_and_minhash_formulas():
+    assert bit_sampling_collision_probability(0, 10) == 1.0
+    assert bit_sampling_collision_probability(5, 10) == 0.5
+    assert minhash_collision_probability(0.25) == 0.75
+    with pytest.raises(ValueError):
+        bit_sampling_collision_probability(11, 10)
+    with pytest.raises(ValueError):
+        minhash_collision_probability(1.5)
+
+
+def test_rho_formula():
+    assert rho(0.5, 0.25) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        rho(0.2, 0.5)
+
+
+# ----------------------------------------------------------------------
+# LCCS length distribution (paper Lemma 5.2, Eq. 6-7, Theorem 5.1)
+# ----------------------------------------------------------------------
+
+def test_exact_cdf_boundaries():
+    assert exact_cdf(16, 0.5, -1) == 0.0
+    assert exact_cdf(16, 0.5, 16) == 1.0
+    # x = m-1 excludes only the all-match circle.
+    assert exact_cdf(8, 0.5, 7) == pytest.approx(1 - 0.5 ** 8)
+
+
+def test_exact_cdf_monotone_in_x_and_p():
+    cdf = [exact_cdf(20, 0.5, x) for x in range(21)]
+    assert all(cdf[i] <= cdf[i + 1] + 1e-12 for i in range(20))
+    # Higher match probability -> stochastically longer LCCS -> smaller CDF.
+    assert exact_cdf(20, 0.7, 5) < exact_cdf(20, 0.4, 5)
+
+
+def test_exact_pmf_sums_to_one():
+    pmf = exact_pmf(12, 0.3)
+    assert pmf.shape == (13,)
+    assert pmf.sum() == pytest.approx(1.0)
+    assert (pmf >= -1e-12).all()
+
+
+@pytest.mark.parametrize("m,p", [(12, 0.3), (24, 0.5), (16, 0.7)])
+def test_exact_cdf_matches_monte_carlo(m, p):
+    samples = simulate_lccs_lengths(m, p, 6000, seed=11)
+    for x in range(0, m, max(1, m // 6)):
+        emp = float((samples <= x).mean())
+        assert exact_cdf(m, p, x) == pytest.approx(emp, abs=0.03)
+
+
+@pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+@pytest.mark.parametrize("m", [16, 64, 256])
+def test_approx_cdf_within_one_lattice_unit(m, p):
+    """Lemma 5.2 up to the discrete lattice: the extreme-value formula is
+    sandwiched between the exact CDF shifted by one character either way
+    (longest-run laws famously do not converge in sup norm)."""
+    for x in range(m + 1):
+        a = approx_cdf(m, p, x)
+        assert exact_cdf(m, p, x - 2) - 0.02 <= a <= exact_cdf(m, p, x + 1) + 0.02
+
+
+@pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+def test_approx_median_tracks_exact_median(p):
+    for m in (64, 256):
+        med = median_length(m, p)
+        exact_med = next(x for x in range(m + 1) if exact_cdf(m, p, x) >= 0.5)
+        assert abs(med - exact_med) <= 1.0
+
+
+def test_median_and_quantile_consistency():
+    m, p = 128, 0.5
+    med = median_length(m, p)
+    # The approximate CDF at its median is 1/2 by construction.
+    assert approx_cdf(m, p, med) == pytest.approx(0.5)
+    q9 = quantile_length(m, p, 0.9)
+    assert approx_cdf(m, p, q9) == pytest.approx(0.9)
+    assert q9 > med
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        quantile_length(16, 0.5, 0.0)
+    with pytest.raises(ValueError):
+        median_length(16, 1.5)
+
+
+def test_theorem51_lambda_properties():
+    lam = theorem51_lambda(64, 100000, 0.9, 0.5)
+    assert lam > 0
+    # Larger m -> smaller lambda (exponent 1 - 1/rho < 0).
+    assert theorem51_lambda(256, 100000, 0.9, 0.5) < lam
+    # Larger n -> proportionally larger lambda.
+    assert theorem51_lambda(64, 200000, 0.9, 0.5) == pytest.approx(2 * lam)
+    with pytest.raises(ValueError):
+        theorem51_lambda(64, 1000, 0.5, 0.9)
+
+
+# ----------------------------------------------------------------------
+# Table 1 complexity models
+# ----------------------------------------------------------------------
+
+def test_table1_has_five_rows():
+    rows = table1_rows()
+    assert len(rows) == 5
+    assert {r.method for r in rows} == {"E2LSH", "C2LSH", "LCCS-LSH"}
+
+
+def test_m_and_lambda_for_alpha_endpoints():
+    n, r = 10000, 0.5
+    # alpha = 0: constant m, lambda = O(n).
+    assert lccs_m_for_alpha(n, r, 0.0) == 2
+    assert lccs_lambda_for_alpha(n, r, 0.0) == n
+    # alpha = 1: m = n^rho = 100, lambda = n^rho = 100.
+    assert lccs_m_for_alpha(n, r, 1.0) == 100
+    assert lccs_lambda_for_alpha(n, r, 1.0) == 100
+    # alpha = 1/(1-rho) = 2: lambda = O(1).
+    assert lccs_lambda_for_alpha(n, r, 2.0) == 1
+    with pytest.raises(ValueError):
+        lccs_m_for_alpha(n, r, 5.0)
