@@ -14,11 +14,11 @@ from __future__ import annotations
 import abc
 import pickle
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.distances import pairwise
+from repro.distances import pairwise, pairwise_rows
 
 __all__ = ["ANNIndex"]
 
@@ -101,14 +101,30 @@ class ANNIndex(abc.ABC):
     def batch_query(
         self, queries: np.ndarray, k: int = 1, **kwargs
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Query every row; results padded with ``-1`` / ``inf`` to ``k``."""
+        """Query every row; results padded with ``-1`` / ``inf`` to ``k``.
+
+        Dispatches to the subclass :meth:`_batch_query` hook — vectorised
+        top-to-bottom for the LCCS family, a per-query loop elsewhere —
+        and always returns the same ids and distances as calling
+        :meth:`query` row by row.  After the call ``last_stats`` holds
+        work counters summed over the whole batch.
+        """
+        if self._data is None:
+            raise RuntimeError("index must be fitted before querying")
         queries = np.asarray(queries)
         if queries.ndim != 2:
             raise ValueError("queries must be 2-d")
+        if queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]}, index expects {self.dim}"
+            )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.last_stats = {}
+        results = self._batch_query(queries, k, **kwargs)
         ids = np.full((len(queries), k), -1, dtype=np.int64)
         dists = np.full((len(queries), k), np.inf)
-        for i, q in enumerate(queries):
-            qi, qd = self.query(q, k, **kwargs)
+        for i, (qi, qd) in enumerate(results):
             ids[i, : len(qi)] = qi
             dists[i, : len(qd)] = qd
         return ids, dists
@@ -145,6 +161,30 @@ class ANNIndex(abc.ABC):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Answer one validated query."""
 
+    def _batch_query(
+        self, queries: np.ndarray, k: int, **kwargs
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Answer a validated query batch: one ``(ids, dists)`` per row.
+
+        The default loops :meth:`_query`; indexes with a vectorised path
+        override it.  Implementations must return exactly what the
+        single-query path would (the equivalence the test suite pins
+        down) and accumulate work counters into ``last_stats`` as batch
+        totals.
+        """
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        acc: Dict[str, float] = {}
+        for q in queries:
+            # Single-query implementations overwrite last_stats per call;
+            # reset before each and sum after so the batch contract
+            # (counters are batch totals) holds for every index.
+            self.last_stats = {}
+            out.append(self._query(np.asarray(q), k, **kwargs))
+            for key, val in self.last_stats.items():
+                acc[key] = acc.get(key, 0.0) + float(val)
+        self.last_stats = acc
+        return out
+
     def _verify(
         self, candidate_ids: np.ndarray, q: np.ndarray, k: int
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -162,6 +202,46 @@ class ANNIndex(abc.ABC):
         dists = pairwise(self._data[candidate_ids], q, self.metric)
         order = np.lexsort((candidate_ids, dists))[: min(k, len(candidate_ids))]
         return candidate_ids[order], dists[order]
+
+    def _verify_batch(
+        self,
+        candidate_ids_per_query: Sequence[np.ndarray],
+        queries: np.ndarray,
+        k: int,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Rank every query's candidates with one fused distance kernel.
+
+        The candidates of all queries are gathered into a single matrix
+        and ranked via one :func:`pairwise_rows` call per batch instead
+        of one :func:`pairwise` call per query.  Per query the output
+        (ids, distances, tie-breaks) is identical to :meth:`_verify`.
+        """
+        uniq = [
+            np.unique(np.asarray(c, dtype=np.int64))
+            for c in candidate_ids_per_query
+        ]
+        counts = np.array([len(u) for u in uniq], dtype=np.int64)
+        self.last_stats["candidates"] = self.last_stats.get(
+            "candidates", 0.0
+        ) + float(counts.sum())
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        if counts.sum() == 0:
+            return [empty for _ in uniq]
+        flat_ids = np.concatenate(uniq)
+        rep_queries = np.repeat(np.asarray(queries), counts, axis=0)
+        flat_dists = pairwise_rows(
+            self._data[flat_ids], rep_queries, self.metric
+        )
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for i, u in enumerate(uniq):
+            if len(u) == 0:
+                out.append(empty)
+                continue
+            d = flat_dists[offsets[i] : offsets[i + 1]]
+            order = np.lexsort((u, d))[: min(k, len(u))]
+            out.append((u[order], d[order]))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = f"n={self.n}" if self.is_fitted else "unfitted"

@@ -12,6 +12,7 @@ Examples::
 
     python -m repro.cli datasets --n 2000
     python -m repro.cli compare --dataset sift --n 3000 --metric euclidean
+    python -m repro.cli compare --dataset sift --n 3000 --batch
     python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
 """
 
@@ -147,10 +148,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             evaluate(
                 index, data, queries, gt, k=args.k,
                 query_kwargs=query_kwargs, params={"method": name},
+                batch=args.batch,
             )
         )
+    mode = "batched" if args.batch else "per-query"
     print(f"dataset={args.dataset} n={len(data)} d={ds.dim} "
-          f"metric={args.metric} k={args.k}\n")
+          f"metric={args.metric} k={args.k} mode={mode}\n")
     print(format_results(results))
     return 0
 
@@ -240,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         default="lccs,mp-lccs,e2lsh",
         help=f"comma list from {','.join(_METHOD_CHOICES)}",
+    )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="answer all queries through the vectorised batch engine "
+        "(reports throughput as QPS)",
     )
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_compare)

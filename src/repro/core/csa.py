@@ -170,7 +170,11 @@ class CircularShiftArray:
         return ShiftBounds(pos_lower, pos_upper, len_lower, len_upper)
 
     def batch_binary_search(
-        self, shifts: np.ndarray, q_rots: np.ndarray
+        self,
+        shifts: np.ndarray,
+        q_rots: np.ndarray,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
     ) -> List[ShiftBounds]:
         """Many independent binary searches, advanced in lock-step.
 
@@ -179,6 +183,35 @@ class CircularShiftArray:
         simultaneously so every step is one vectorised comparison over a
         ``(B, m)`` block — the work-horse of the multi-probe scheme,
         where hundreds of (probe, shift) searches are issued per query.
+
+        Optional ``lo``/``hi`` arrays window each search to
+        ``sorted_idx[shifts[b]][lo[b]:hi[b]]`` (the batched
+        ``BinarySearchBetween`` of Corollary 3.2); callers must guarantee
+        the true bounds fall inside each window.
+        """
+        pos_lower, pos_upper, len_lower, len_upper = self._batch_search_arrays(
+            shifts, q_rots, lo=lo, hi=hi
+        )
+        return [
+            ShiftBounds(
+                int(pos_lower[b]), int(pos_upper[b]),
+                int(len_lower[b]), int(len_upper[b]),
+            )
+            for b in range(len(pos_lower))
+        ]
+
+    def _batch_search_arrays(
+        self,
+        shifts: np.ndarray,
+        q_rots: np.ndarray,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Array-valued core of :meth:`batch_binary_search`.
+
+        Returns ``(pos_lower, pos_upper, len_lower, len_upper)`` as four
+        int64 arrays of length ``B`` — the allocation-free form the
+        batched query engine consumes.
         """
         shifts = np.asarray(shifts, dtype=np.int64)
         q_rots = np.ascontiguousarray(q_rots)
@@ -189,29 +222,48 @@ class CircularShiftArray:
             )
         n, m = self.n, self.m
         offsets = np.arange(m, dtype=np.int64)
-        lo = np.zeros(B, dtype=np.int64)
-        hi = np.full(B, n, dtype=np.int64)
-        rows_idx = np.empty(B, dtype=np.int64)
+        lo = np.zeros(B, dtype=np.int64) if lo is None else np.array(lo, dtype=np.int64)
+        hi = np.full(B, n, dtype=np.int64) if hi is None else np.array(hi, dtype=np.int64)
+        # Two-stage lexicographic compare: most rotations differ within
+        # the first few characters, so each bisection step gathers a
+        # short prefix for every lane and touches the tail only for the
+        # few lanes whose prefix matches the query exactly.
+        pref = min(8, m)
         while True:
             active = lo < hi
             if not active.any():
                 break
             mid = (lo + hi) // 2
-            rows_idx[active] = self.sorted_idx[
-                shifts[active], mid[active]
-            ].astype(np.int64)
-            rows = self._doubled[
-                rows_idx[active][:, None], shifts[active][:, None] + offsets
-            ]
-            qr = q_rots[active]
-            neq = rows != qr
-            has_neq = neq.any(axis=1)
-            first = np.argmax(neq, axis=1)
-            take = np.arange(len(rows))
-            less = rows[take, first] < qr[take, first]
-            # row <= query  <=>  equal or first differing char smaller
-            le = ~has_neq | less
             act_idx = np.flatnonzero(active)
+            ids = self.sorted_idx[shifts[act_idx], mid[act_idx]].astype(np.int64)
+            sh = shifts[act_idx]
+            rows_p = self._doubled[ids[:, None], sh[:, None] + offsets[:pref]]
+            qr_p = q_rots[act_idx[:, None], offsets[:pref]]
+            neq_p = rows_p != qr_p
+            has_p = neq_p.any(axis=1)
+            first_p = np.argmax(neq_p, axis=1)
+            take = np.arange(len(ids))
+            # row <= query  <=>  equal or first differing char smaller
+            le = np.empty(len(ids), dtype=bool)
+            le[has_p] = (
+                rows_p[take[has_p], first_p[has_p]]
+                < qr_p[take[has_p], first_p[has_p]]
+            )
+            eq_p = ~has_p
+            if eq_p.any():
+                if pref < m:
+                    sub = np.flatnonzero(eq_p)
+                    rows_t = self._doubled[
+                        ids[sub][:, None], sh[sub][:, None] + offsets[pref:]
+                    ]
+                    qr_t = q_rots[act_idx[sub][:, None], offsets[pref:]]
+                    neq_t = rows_t != qr_t
+                    has_t = neq_t.any(axis=1)
+                    first_t = np.argmax(neq_t, axis=1)
+                    tk = np.arange(len(sub))
+                    le[sub] = ~has_t | (rows_t[tk, first_t] < qr_t[tk, first_t])
+                else:
+                    le[eq_p] = True
             lo[act_idx[le]] = mid[act_idx[le]] + 1
             hi[act_idx[~le]] = mid[act_idx[~le]]
         pos_upper = lo
@@ -232,13 +284,7 @@ class CircularShiftArray:
                 has_neq = neq.any(axis=1)
                 first = np.argmax(neq, axis=1)
                 out[valid] = np.where(has_neq, first, m)
-        return [
-            ShiftBounds(
-                int(pos_lower[b]), int(pos_upper[b]),
-                int(len_lower[b]), int(len_upper[b]),
-            )
-            for b in range(B)
-        ]
+        return pos_lower, pos_upper, len_lower, len_upper
 
     def search_all_shifts(self, query: np.ndarray) -> List[ShiftBounds]:
         """Phase 1 of Algorithm 2: bounds at every shift.
@@ -272,6 +318,58 @@ class CircularShiftArray:
             bounds.append(b)
             prev = b
         return bounds
+
+    def batch_search_all_shifts(
+        self, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Phase 1 of Algorithm 2 for a whole query batch at once.
+
+        The per-shift searches of all ``Q`` queries run as one lock-step
+        vectorised bisection (``m`` batched searches of width ``Q``
+        instead of ``Q * m`` sequential ones), while each query still
+        honours Lemma 3.1: its search window on shift ``s`` is narrowed
+        through the next links whenever both of its LCP lengths at shift
+        ``s-1`` are >= 1.  Per query the results are identical to
+        :meth:`search_all_shifts`.
+
+        Returns ``(pos_lower, pos_upper, len_lower, len_upper)``, each a
+        ``(Q, m)`` int64 array.
+        """
+        queries = np.ascontiguousarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.m:
+            raise ValueError(
+                f"queries must be (Q, m={self.m}), got shape {queries.shape}"
+            )
+        Q = len(queries)
+        n, m = self.n, self.m
+        qds = np.concatenate([queries, queries], axis=1)
+        pos_lower = np.empty((Q, m), dtype=np.int64)
+        pos_upper = np.empty((Q, m), dtype=np.int64)
+        len_lower = np.empty((Q, m), dtype=np.int64)
+        len_upper = np.empty((Q, m), dtype=np.int64)
+        for s in range(m):
+            if s == 0 or Q == 0:
+                lo = hi = None
+            else:
+                windowed = (len_lower[:, s - 1] >= 1) & (len_upper[:, s - 1] >= 1)
+                nl = self.next_link[s - 1]
+                # Clip guards the gather where a bound does not exist;
+                # those lanes are masked out below anyway.
+                window_lo = nl[np.clip(pos_lower[:, s - 1], 0, n - 1)].astype(np.int64)
+                window_hi = nl[np.clip(pos_upper[:, s - 1], 0, n - 1)].astype(np.int64)
+                bad = window_lo > window_hi  # defensive; cannot happen per Lemma 3.1
+                window_lo = np.where(bad, 0, window_lo)
+                window_hi = np.where(bad, n - 1, window_hi)
+                lo = np.where(windowed, window_lo, 0)
+                hi = np.where(windowed, window_hi + 1, n)
+            pl, pu, ll, lu = self._batch_search_arrays(
+                np.full(Q, s, dtype=np.int64), qds[:, s : s + m], lo=lo, hi=hi
+            )
+            pos_lower[:, s] = pl
+            pos_upper[:, s] = pu
+            len_lower[:, s] = ll
+            len_upper[:, s] = lu
+        return pos_lower, pos_upper, len_lower, len_upper
 
     # ------------------------------------------------------------------
     # k-LCCS search (paper Algorithm 2)
@@ -318,6 +416,11 @@ class CircularShiftArray:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """2m-way merge: pop strings in non-increasing LCP order.
 
+        Ties in LCP length are broken by ``(string_id, shift, rank,
+        direction)`` — a canonical order that depends only on the frontier
+        state, never on insertion history, so the batched engine can
+        reproduce it exactly without replaying this loop.
+
         ``extra_entries``/``seen`` let the multi-probe scheme contribute
         frontier entries from perturbed queries and share the dedupe set.
         """
@@ -336,20 +439,18 @@ class CircularShiftArray:
             if cur is None or length > cur[0]:
                 best_entry[key] = (length, s, pos, direction, entry_qd)
         heap: list = []
-        counter = 0
         visited = set()
         for length, s, pos, direction, entry_qd in best_entry.values():
-            heap.append((-length, counter, s, pos, direction, entry_qd))
+            sid = int(self.sorted_idx[s][pos])
+            heap.append((-length, sid, s, pos, direction, entry_qd))
             visited.add((s, pos))
-            counter += 1
         heapq.heapify(heap)
         if seen is None:
             seen = set()
         out_ids: List[int] = []
         out_lens: List[int] = []
         while heap and len(out_ids) < k:
-            neg_len, _, s, pos, direction, entry_qd = heapq.heappop(heap)
-            string_id = int(self.sorted_idx[s][pos])
+            neg_len, string_id, s, pos, direction, entry_qd = heapq.heappop(heap)
             if string_id not in seen:
                 seen.add(string_id)
                 out_ids.append(string_id)
@@ -363,10 +464,334 @@ class CircularShiftArray:
                     self.rotation(nid, s), entry_qd[s : s + m]
                 )
                 heapq.heappush(
-                    heap, (-nlen, counter, s, npos, direction, entry_qd)
+                    heap, (-nlen, nid, s, npos, direction, entry_qd)
                 )
-                counter += 1
         return np.array(out_ids, dtype=np.int64), np.array(out_lens, dtype=np.int64)
+
+    def batch_merge_candidates(
+        self,
+        qd_table: np.ndarray,
+        bounds_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        k: int,
+        extra_entries: Optional[List[list]] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Lock-step 2m-way merges for a query batch.
+
+        Per query the output is identical to :meth:`merge_candidates`
+        (same canonical ``(-lcp, string_id, shift, rank)`` pop order).
+        Without probe entries the merge runs as a fully vectorised walk
+        tournament (:meth:`_batch_merge_tournament`); with multi-probe
+        extra entries it falls back to lock-step per-query heaps with
+        fused LCP gathers (:meth:`_batch_merge_heap`).
+
+        Args:
+            qd_table: ``(R, 2m)`` doubled query strings; row ``qi < Q``
+                is query ``qi``'s unperturbed string, rows ``>= Q`` may
+                hold perturbed probe strings referenced by
+                ``extra_entries``.
+            bounds_arrays: ``(pos_lower, pos_upper, len_lower, len_upper)``
+                from :meth:`batch_search_all_shifts`.
+            k: results per query.
+            extra_entries: optional per-query frontier entries
+                ``(length, shift, rank, direction, qd_row)`` from
+                perturbed probes (multi-probe scheme); ``qd_row`` indexes
+                into ``qd_table``.
+
+        Returns:
+            One ``(ids, lccs_lengths)`` pair per query.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if extra_entries is None or not any(extra_entries):
+            return self._batch_merge_tournament(qd_table, bounds_arrays, k)
+        return self._batch_merge_heap(qd_table, bounds_arrays, k, extra_entries)
+
+    def _batch_merge_tournament(
+        self,
+        qd_table: np.ndarray,
+        bounds_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        k: int,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Fully vectorised merge for the no-extras (single-probe) case.
+
+        Without probe entries every query's heap holds exactly one entry
+        per live walk (2 per shift: the lower walk moving down, the upper
+        walk moving up), so the merge is a *tournament*: each round pick
+        the walk whose frontier has the lexicographically smallest
+        ``(-lcp, string_id, shift, rank)`` key, emit its string if
+        unseen, and advance that walk one rank.  The per-round pick is
+        one ``argmin`` over packed int64 keys across the whole batch and
+        the advanced walks' LCPs are one fused gather — no per-entry
+        Python at all.  Per query the output is identical to
+        :meth:`merge_candidates`.
+        """
+        pos_lower, pos_upper, len_lower, len_upper = bounds_arrays
+        Q = len(pos_lower)
+        m, n = self.m, self.n
+        if Q == 0:
+            return []
+        # Pack (m - lcp, sid, shift, rank) into one int64 so the round
+        # pick is a single argmin.  Falls back to the heap merge for
+        # gigantic indexes where the fields no longer fit 62 bits.
+        bits_pos = max(1, int(n - 1).bit_length())
+        bits_shift = max(1, int(m - 1).bit_length())
+        bits_sid = bits_pos
+        bits_len = int(m).bit_length()
+        if bits_len + bits_sid + bits_shift + bits_pos > 62:  # pragma: no cover
+            return self._batch_merge_heap(
+                qd_table, bounds_arrays, k, [[] for _ in range(Q)]
+            )
+        # Bound the dedupe bitmap to ~64 MB by splitting huge batches.
+        max_q = max(1, (1 << 26) // max(1, n))
+        if Q > max_q:
+            out: List[Tuple[np.ndarray, np.ndarray]] = []
+            for start in range(0, Q, max_q):
+                stop = min(Q, start + max_q)
+                out.extend(
+                    self._batch_merge_tournament(
+                        qd_table[start:stop],
+                        tuple(a[start:stop] for a in bounds_arrays),
+                        k,
+                    )
+                )
+            return out
+        sh_pos = 0
+        sh_shift = bits_pos
+        sh_sid = sh_shift + bits_shift
+        sh_len = sh_sid + bits_sid
+        dead = np.iinfo(np.int64).max
+        sorted_idx = self.sorted_idx
+        offsets = np.arange(m, dtype=np.int64)
+        # Walk state, interleaved (lower, upper) per shift: (Q, 2m).
+        wpos = np.empty((Q, 2 * m), dtype=np.int64)
+        wpos[:, 0::2] = pos_lower
+        wpos[:, 1::2] = pos_upper
+        wlen = np.empty((Q, 2 * m), dtype=np.int64)
+        wlen[:, 0::2] = len_lower
+        wlen[:, 1::2] = len_upper
+        alive = np.empty((Q, 2 * m), dtype=bool)
+        alive[:, 0::2] = pos_lower >= 0
+        alive[:, 1::2] = pos_upper < n
+        wshift = np.repeat(np.arange(m, dtype=np.int64), 2)
+        wdir = np.tile(np.array([-1, 1], dtype=np.int64), m)
+        wsid = sorted_idx[
+            wshift[None, :], np.clip(wpos, 0, n - 1)
+        ].astype(np.int64)
+        keys = (
+            ((m - wlen) << sh_len)
+            | (wsid << sh_sid)
+            | (wshift[None, :] << sh_shift)
+            | np.clip(wpos, 0, n - 1)
+        )
+        keys[~alive] = dead
+        seen = np.zeros((Q, n), dtype=bool)
+        out_ids = np.empty((Q, min(k, n)), dtype=np.int64)
+        out_lens = np.empty((Q, min(k, n)), dtype=np.int64)
+        cnt = np.zeros(Q, dtype=np.int64)
+        act = np.flatnonzero(alive.any(axis=1))
+        while len(act):
+            sub = keys[act]
+            best = np.argmin(sub, axis=1)
+            live = sub[np.arange(len(act)), best] != dead
+            act = act[live]
+            best = best[live]
+            if not len(act):
+                break
+            s = wshift[best]
+            d = wdir[best]
+            pos = wpos[act, best]
+            ln = wlen[act, best]
+            sid = wsid[act, best]
+            fresh = ~seen[act, sid]
+            seen[act, sid] = True
+            emit_q = act[fresh]
+            out_ids[emit_q, cnt[emit_q]] = sid[fresh]
+            out_lens[emit_q, cnt[emit_q]] = ln[fresh]
+            cnt[emit_q] += 1
+            npos = pos + d
+            inb = (npos >= 0) & (npos < n)
+            keys[act[~inb], best[~inb]] = dead
+            adv_q = act[inb]
+            if len(adv_q):
+                adv_w = best[inb]
+                a_pos = npos[inb]
+                a_s = s[inb]
+                nsid = sorted_idx[a_s, a_pos].astype(np.int64)
+                windows = a_s[:, None] + offsets
+                rows = self._doubled[nsid[:, None], windows]
+                neq = rows != qd_table[adv_q[:, None], windows]
+                has_neq = neq.any(axis=1)
+                nlen = np.where(has_neq, np.argmax(neq, axis=1), m)
+                wpos[adv_q, adv_w] = a_pos
+                wlen[adv_q, adv_w] = nlen
+                wsid[adv_q, adv_w] = nsid
+                keys[adv_q, adv_w] = (
+                    ((m - nlen) << sh_len)
+                    | (nsid << sh_sid)
+                    | (a_s << sh_shift)
+                    | a_pos
+                )
+            act = act[cnt[act] < k]
+        return [
+            (out_ids[qi, : cnt[qi]].copy(), out_lens[qi, : cnt[qi]].copy())
+            for qi in range(Q)
+        ]
+
+    def _batch_merge_heap(
+        self,
+        qd_table: np.ndarray,
+        bounds_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        k: int,
+        extra_entries: List[list],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Lock-step heap merge handling multi-probe extra entries.
+
+        Every query keeps its own heap and dedupe sets exactly as in
+        :meth:`merge_candidates` (same canonical tie order, so per query
+        the output is identical), but the per-query work is fused across
+        the batch: frontier initialisation is one vectorised pass, and
+        each round pops once per still-active query, then resolves all
+        neighbour LCPs of the round with single fancy-indexed gathers.
+        """
+        pos_lower, pos_upper, len_lower, len_upper = bounds_arrays
+        Q = len(pos_lower)
+        m, n = self.m, self.n
+        sorted_idx = self.sorted_idx
+        offsets = np.arange(m, dtype=np.int64)
+        # ---- frontier initialisation, vectorised across the batch ----
+        # Interleave (lower, upper) per shift so the flattened order per
+        # query matches frontier_entries exactly: s=0 lower, s=0 upper,
+        # s=1 lower, ...
+        lens2 = np.empty((Q, 2 * m), dtype=np.int64)
+        lens2[:, 0::2] = len_lower
+        lens2[:, 1::2] = len_upper
+        pos2 = np.empty((Q, 2 * m), dtype=np.int64)
+        pos2[:, 0::2] = pos_lower
+        pos2[:, 1::2] = pos_upper
+        valid2 = np.empty((Q, 2 * m), dtype=bool)
+        valid2[:, 0::2] = pos_lower >= 0
+        valid2[:, 1::2] = pos_upper < n
+        shift2 = np.repeat(np.arange(m, dtype=np.int64), 2)
+        dir2 = np.tile(np.array([-1, 1], dtype=np.int64), m)
+        sid2 = sorted_idx[
+            shift2[None, :], np.clip(pos2, 0, n - 1)
+        ].astype(np.int64)
+        flat_valid = valid2.ravel()
+        counts = valid2.sum(axis=1)
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        neg_flat = (-lens2).ravel()[flat_valid].tolist()
+        len_flat = lens2.ravel()[flat_valid].tolist()
+        pos_flat = pos2.ravel()[flat_valid].tolist()
+        sid_flat = sid2.ravel()[flat_valid].tolist()
+        shift_flat = np.tile(shift2, Q)[flat_valid].tolist()
+        dir_flat = np.tile(dir2, Q)[flat_valid].tolist()
+        heaps: List[list] = []
+        visiteds: List[set] = []
+        seens: List[set] = [set() for _ in range(Q)]
+        out_ids: List[List[int]] = [[] for _ in range(Q)]
+        out_lens: List[List[int]] = [[] for _ in range(Q)]
+        for qi in range(Q):
+            lo_i, hi_i = starts[qi], starts[qi + 1]
+            sl_shift = shift_flat[lo_i:hi_i]
+            sl_pos = pos_flat[lo_i:hi_i]
+            if extra_entries[qi]:
+                # Multi-probe: fold perturbed-probe entries in and dedupe
+                # on (shift, rank, direction) keeping the longest LCP,
+                # exactly as merge_candidates does.
+                entries = list(
+                    zip(
+                        len_flat[lo_i:hi_i], sl_shift, sl_pos,
+                        dir_flat[lo_i:hi_i], [qi] * (hi_i - lo_i),
+                    )
+                )
+                entries.extend(extra_entries[qi])
+                best_entry: dict = {}
+                for length, s, pos, direction, qd_row in entries:
+                    key = (s, pos, direction)
+                    cur = best_entry.get(key)
+                    if cur is None or length > cur[0]:
+                        best_entry[key] = (length, s, pos, direction, qd_row)
+                heap = []
+                visited = set()
+                for length, s, pos, direction, qd_row in best_entry.values():
+                    sid = int(sorted_idx[s][pos])
+                    heap.append((-length, sid, s, pos, direction, qd_row))
+                    visited.add((s, pos))
+            else:
+                c = hi_i - lo_i
+                heap = list(
+                    zip(
+                        neg_flat[lo_i:hi_i], sid_flat[lo_i:hi_i], sl_shift,
+                        sl_pos, dir_flat[lo_i:hi_i], [qi] * c,
+                    )
+                )
+                visited = set(zip(sl_shift, sl_pos))
+            heapq.heapify(heap)
+            heaps.append(heap)
+            visiteds.append(visited)
+        # ---- lock-step merge rounds ----
+        heappop, heappush = heapq.heappop, heapq.heappush
+        active = [qi for qi in range(Q) if heaps[qi]]
+        while active:
+            pops = [heappop(heaps[qi]) for qi in active]
+            pend: list = []
+            for j, qi in enumerate(active):
+                neg_len, sid, s, pos, direction, qd_row = pops[j]
+                seen = seens[qi]
+                if sid not in seen:
+                    seen.add(sid)
+                    out_ids[qi].append(sid)
+                    out_lens[qi].append(-neg_len)
+                npos = pos + direction
+                if 0 <= npos < n and (s, npos) not in visiteds[qi]:
+                    visiteds[qi].add((s, npos))
+                    pend.append((qi, s, npos, direction, qd_row))
+            if pend:
+                p_shift = np.array([p[1] for p in pend], dtype=np.int64)
+                p_pos = np.array([p[2] for p in pend], dtype=np.int64)
+                p_row = np.array([p[4] for p in pend], dtype=np.int64)
+                p_sids = sorted_idx[p_shift, p_pos].astype(np.int64)
+                windows = p_shift[:, None] + offsets
+                rows = self._doubled[p_sids[:, None], windows]
+                neq = rows != qd_table[p_row[:, None], windows]
+                has_neq = neq.any(axis=1)
+                first = np.argmax(neq, axis=1)
+                p_lens = np.where(has_neq, first, m).tolist()
+                p_sids = p_sids.tolist()
+                for (qi, s, npos, direction, qd_row), nlen, nid in zip(
+                    pend, p_lens, p_sids
+                ):
+                    heappush(
+                        heaps[qi], (-nlen, nid, s, npos, direction, qd_row)
+                    )
+            active = [
+                qi for qi in active
+                if heaps[qi] and len(out_ids[qi]) < k
+            ]
+        return [
+            (
+                np.array(out_ids[qi], dtype=np.int64),
+                np.array(out_lens[qi], dtype=np.int64),
+            )
+            for qi in range(Q)
+        ]
+
+    def batch_k_lccs(
+        self, queries: np.ndarray, k: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """:meth:`k_lccs` for every row of ``queries``, fully batched.
+
+        Phase 1 runs as ``m`` lock-step bisections over the whole batch,
+        phase 2 as a lock-step merge with fused LCP computation.  Per
+        query the ``(ids, lengths)`` output is identical to
+        :meth:`k_lccs`.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = np.asarray(queries)
+        bounds = self.batch_search_all_shifts(queries)
+        qds = np.concatenate([queries, queries], axis=1)
+        return self.batch_merge_candidates(qds, bounds, k)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.base import ANNIndex
 from repro.core.lccs_lsh import LCCSLSH
-from repro.distances import pairwise
+from repro.distances import pairwise, pairwise_rows
 
 __all__ = ["DynamicLCCSLSH"]
 
@@ -59,13 +59,24 @@ class DynamicLCCSLSH(ANNIndex):
         self._lccs_kwargs = dict(lccs_kwargs)
         self._m = int(m)
         self._inner: Optional[LCCSLSH] = None
-        self._vectors: Optional[np.ndarray] = None  # all ever-inserted rows
+        # All ever-inserted rows live in ``_store[:_size]``; the store
+        # grows by doubling so n inserts cost O(n) amortised copies
+        # instead of the O(n^2) of per-insert vstack.
+        self._store: Optional[np.ndarray] = None
+        self._size = 0
         self._indexed_handles = np.empty(0, dtype=np.int64)
         self._buffer_handles: List[int] = []
         self._dead: set = set()
         self.rebuilds = 0
 
     # ------------------------------------------------------------------
+
+    @property
+    def _vectors(self) -> Optional[np.ndarray]:
+        """View of every ever-inserted row (the live prefix of the store)."""
+        if self._store is None:
+            return None
+        return self._store[: self._size]
 
     @property
     def live_count(self) -> int:
@@ -78,7 +89,8 @@ class DynamicLCCSLSH(ANNIndex):
         return len(self._buffer_handles)
 
     def _fit(self, data: np.ndarray) -> None:
-        self._vectors = np.array(data, dtype=np.float64, copy=True)
+        self._store = np.array(data, dtype=np.float64, copy=True)
+        self._size = len(data)
         self._indexed_handles = np.arange(len(data), dtype=np.int64)
         self._buffer_handles = []
         self._dead = set()
@@ -104,14 +116,25 @@ class DynamicLCCSLSH(ANNIndex):
     # ------------------------------------------------------------------
 
     def insert(self, vector: np.ndarray) -> int:
-        """Add one vector; returns its stable handle."""
-        if self._vectors is None:
+        """Add one vector; returns its stable handle.
+
+        Amortised O(d): the backing store doubles when full rather than
+        reallocating per insert.
+        """
+        if self._store is None:
             raise RuntimeError("fit the index before inserting")
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dim,):
             raise ValueError(f"vector must have shape ({self.dim},)")
-        handle = len(self._vectors)
-        self._vectors = np.vstack([self._vectors, vector[None, :]])
+        if self._size == len(self._store):
+            grown = np.empty(
+                (max(4, 2 * len(self._store)), self.dim), dtype=np.float64
+            )
+            grown[: self._size] = self._store[: self._size]
+            self._store = grown
+        handle = self._size
+        self._store[handle] = vector
+        self._size += 1
         self._buffer_handles.append(handle)
         self._data = self._vectors  # keep the base-class view in sync
         self._maybe_rebuild()
@@ -119,7 +142,7 @@ class DynamicLCCSLSH(ANNIndex):
 
     def delete(self, handle: int) -> None:
         """Tombstone a point by handle; raises KeyError if unknown/dead."""
-        if self._vectors is None or not 0 <= handle < len(self._vectors):
+        if self._store is None or not 0 <= handle < self._size:
             raise KeyError(f"unknown handle {handle}")
         if handle in self._dead:
             raise KeyError(f"handle {handle} already deleted")
@@ -141,6 +164,7 @@ class DynamicLCCSLSH(ANNIndex):
     ) -> Tuple[np.ndarray, np.ndarray]:
         pairs = []
         if self._inner is not None:
+            self._inner.last_stats = {}  # counters are per outer query
             inner_ids, inner_dists = self._inner._query(
                 q, min(k + len(self._dead), self._inner.n),
                 num_candidates=num_candidates,
@@ -165,9 +189,79 @@ class DynamicLCCSLSH(ANNIndex):
         dists = np.array([d for d, _ in top])
         return ids, dists
 
+    def _batch_query(
+        self, queries: np.ndarray, k: int, num_candidates: Optional[int] = None
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised batch path: batched inner search + one buffer scan.
+
+        The CSA-backed inner index answers the whole batch through its
+        own vectorised path, and the pending buffer is scanned with a
+        single cross-distance kernel call covering every (query, buffered
+        point) pair.  Per query the results are identical to
+        :meth:`_query`.
+        """
+        Q = len(queries)
+        inner_results: List[Tuple[np.ndarray, np.ndarray]]
+        if self._inner is not None:
+            self._inner.last_stats = {}
+            inner_results = self._inner._batch_query(
+                queries, min(k + len(self._dead), self._inner.n),
+                num_candidates=num_candidates,
+            )
+            self.last_stats.update(self._inner.last_stats)
+        else:
+            inner_results = [
+                (np.empty(0, dtype=np.int64), np.empty(0)) for _ in range(Q)
+            ]
+        live_buffer = [h for h in self._buffer_handles if h not in self._dead]
+        if live_buffer and Q:
+            # Row-wise kernel (buffer tiled per query) rather than the
+            # cross kernel: identical reduction order to the single-query
+            # scan, so results stay bit-identical under every metric.
+            # Chunked over queries to bound the tiled temporaries at
+            # ~8M elements regardless of Q x buffer size.
+            buf = self._vectors[live_buffer]
+            nb = len(buf)
+            chunk = max(1, (1 << 23) // max(1, nb * self.dim))
+            buffer_dists = np.empty((Q, nb))
+            for start in range(0, Q, chunk):
+                stop = min(Q, start + chunk)
+                buffer_dists[start:stop] = pairwise_rows(
+                    np.tile(buf, (stop - start, 1)),
+                    np.repeat(queries[start:stop], nb, axis=0),
+                    self.metric,
+                ).reshape(stop - start, nb)
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for qi in range(Q):
+            inner_ids, inner_dists = inner_results[qi]
+            pairs = [
+                (float(d), int(self._indexed_handles[i]))
+                for i, d in zip(inner_ids, inner_dists)
+                if int(self._indexed_handles[i]) not in self._dead
+            ]
+            if live_buffer:
+                pairs.extend(
+                    (float(buffer_dists[qi, j]), h)
+                    for j, h in enumerate(live_buffer)
+                )
+            pairs.sort()
+            top = pairs[:k]
+            out.append(
+                (
+                    np.array([h for _, h in top], dtype=np.int64),
+                    np.array([d for d, _ in top]),
+                )
+            )
+        self.last_stats["buffer_scanned"] = float(len(self._buffer_handles)) * Q
+        return out
+
     def index_size_bytes(self) -> int:
         inner = self._inner.index_size_bytes() if self._inner else 0
-        return inner
+        # Pending rows are part of the structure a deployment must hold
+        # to answer queries; count them until the next rebuild absorbs
+        # them into the CSA.
+        itemsize = self._store.itemsize if self._store is not None else 8
+        return inner + len(self._buffer_handles) * self.dim * itemsize
 
     def get_vector(self, handle: int) -> np.ndarray:
         """The vector behind a handle (copies; raises KeyError if unknown)."""

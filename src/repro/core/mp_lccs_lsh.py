@@ -157,3 +157,98 @@ class MPLCCSLSH(LCCSLSH):
         self.last_stats["probe_searches"] = float(n_searches)
         self.last_stats["max_lccs"] = int(lccs_lens[0]) if len(lccs_lens) else 0
         return self._verify(cand_ids, q, k)
+
+    def _batch_query(
+        self,
+        queries: np.ndarray,
+        k: int,
+        num_candidates: Optional[int] = None,
+        n_probes: Optional[int] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorised batch path with batched probe generation.
+
+        The unperturbed searches of all queries run as one batched
+        windowed pass; every (query, probe, affected-shift) search across
+        the *whole batch* is flattened into a single lock-step bisection;
+        merges run lock-step with fused LCP computation.  Per query the
+        results are identical to :meth:`_query`.
+        """
+        if self.csa is None:
+            raise RuntimeError("index must be fitted before querying")
+        if num_candidates is None:
+            num_candidates = self.default_candidates(k)
+        if n_probes is None:
+            n_probes = self.n_probes
+        budget = min(self.n, num_candidates + k - 1)
+        Q = len(queries)
+        m, n = self.m, self.n
+        codes_rows: List[np.ndarray] = []
+        alt_codes_rows: list = []
+        alt_scores_rows: list = []
+        for q in queries:
+            codes, alternatives = self.family.query_alternatives(
+                q, self.max_alternatives
+            )
+            codes_rows.append(codes)
+            alt_codes_rows.append([a[0] for a in alternatives])
+            alt_scores_rows.append([a[1] for a in alternatives])
+        codes_mat = (
+            np.stack(codes_rows)
+            if Q
+            else np.empty((0, m), dtype=np.int64)
+        )
+        # Probe 0 of every query: one batched windowed pass.
+        bounds = self.csa.batch_search_all_shifts(codes_mat)
+        _, _, len_lower, len_upper = bounds
+        qds = np.concatenate([codes_mat, codes_mat], axis=1)
+        # Collect every (query, probe, affected shift) search across the
+        # batch, then run them as one lock-step bisection.  Perturbed
+        # query strings go into extra rows of the merge's qd table and
+        # are referenced by row index.
+        probe_qds: list = []
+        search_shifts: list = []
+        search_rows: list = []
+        search_owner: list = []
+        for qi in range(Q):
+            reach = np.maximum(len_lower[qi], len_upper[qi])
+            codes = codes_rows[qi]
+            for delta in generate_perturbation_vectors(
+                alt_scores_rows[qi], n_probes, max_gap=self.max_gap
+            ):
+                if not delta:  # probe 0 already handled via `bounds`
+                    continue
+                modified = codes.copy()
+                for pos, j in delta:
+                    modified[pos] = alt_codes_rows[qi][pos][j]
+                qd_row = Q + len(probe_qds)
+                probe_qds.append(self.csa.query_rotations(modified))
+                positions = tuple(pos for pos, _ in delta)
+                for s in self._affected_shifts(positions, reach):
+                    search_shifts.append(s)
+                    search_rows.append(qd_row)
+                    search_owner.append(qi)
+        qd_table = np.vstack([qds] + probe_qds) if probe_qds else qds
+        extra_entries: List[list] = [[] for _ in range(Q)]
+        n_searches = len(search_shifts)
+        if n_searches:
+            shifts_arr = np.array(search_shifts, dtype=np.int64)
+            rows_arr = np.array(search_rows, dtype=np.int64)
+            q_rots = qd_table[
+                rows_arr[:, None], shifts_arr[:, None] + np.arange(m)
+            ]
+            ppl, ppu, pll, plu = self.csa._batch_search_arrays(shifts_arr, q_rots)
+            for i in range(n_searches):
+                qi, s, row = search_owner[i], search_shifts[i], search_rows[i]
+                if ppl[i] >= 0:
+                    extra_entries[qi].append((int(pll[i]), s, int(ppl[i]), -1, row))
+                if ppu[i] < n:
+                    extra_entries[qi].append((int(plu[i]), s, int(ppu[i]), +1, row))
+        merged = self.csa.batch_merge_candidates(
+            qd_table, bounds, budget, extra_entries=extra_entries
+        )
+        self.last_stats["probes"] = float(n_probes) * Q
+        self.last_stats["probe_searches"] = float(n_searches)
+        self.last_stats["max_lccs"] = float(
+            sum(int(lens[0]) if len(lens) else 0 for _, lens in merged)
+        )
+        return self._verify_batch([ids for ids, _ in merged], queries, k)

@@ -11,6 +11,8 @@ from repro.distances.metrics import (
     manhattan,
     normalize_rows,
     pairwise,
+    pairwise_cross,
+    pairwise_rows,
     squared_euclidean,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "manhattan",
     "normalize_rows",
     "pairwise",
+    "pairwise_cross",
+    "pairwise_rows",
     "squared_euclidean",
 ]

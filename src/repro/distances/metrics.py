@@ -11,6 +11,19 @@ Two calling conventions are supported by every metric:
 * ``pairwise(data, q, metric)`` with a 2-d ``(n, d)`` matrix and a 1-d
   query returns the length-``n`` vector of distances, computed with
   vectorised numpy kernels.
+
+The batched query engine adds two more conventions:
+
+* ``pairwise_rows(a, b, metric)`` with two equal-shape ``(n, d)``
+  matrices returns the length-``n`` vector of row-wise distances
+  ``dist(a[i], b[i])`` — one fused kernel call verifies the candidates
+  of a whole query batch; and
+* ``pairwise_cross(data, queries, metric)`` returns the full
+  ``(nq, n)`` cross-distance matrix in one call (for bulk scans that
+  do not need bit-exact agreement with the single-query kernels).
+
+Row-wise kernels apply the same elementwise operations and reduction
+order as ``pairwise``, so their outputs are bit-identical per row.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ __all__ = [
     "hamming",
     "jaccard",
     "pairwise",
+    "pairwise_rows",
+    "pairwise_cross",
     "get_metric",
     "METRICS",
     "normalize_rows",
@@ -119,20 +134,15 @@ def _pairwise_manhattan(data: np.ndarray, q: np.ndarray) -> np.ndarray:
 
 
 def _pairwise_angular(data: np.ndarray, q: np.ndarray) -> np.ndarray:
-    norms = np.linalg.norm(data, axis=1)
-    nq = np.linalg.norm(q)
-    if nq == 0.0 or np.any(norms == 0.0):
-        raise ValueError("angular distance is undefined for zero vectors")
-    cos = np.clip(data @ q / (norms * nq), -1.0, 1.0)
-    return np.arccos(cos)
+    # Delegates to the row-wise kernel (query broadcast across rows) so
+    # the dot products use the same einsum reduction as the batched
+    # verification path — bit-identical results, not just close ones.
+    # einsum takes the stride-0 view directly; no copy is needed.
+    return _rows_angular(data, np.broadcast_to(q, data.shape))
 
 
 def _pairwise_cosine(data: np.ndarray, q: np.ndarray) -> np.ndarray:
-    norms = np.linalg.norm(data, axis=1)
-    nq = np.linalg.norm(q)
-    if nq == 0.0 or np.any(norms == 0.0):
-        raise ValueError("cosine distance is undefined for zero vectors")
-    return 1.0 - np.clip(data @ q / (norms * nq), -1.0, 1.0)
+    return _rows_cosine(data, np.broadcast_to(q, data.shape))
 
 
 def _pairwise_hamming(data: np.ndarray, q: np.ndarray) -> np.ndarray:
@@ -203,6 +213,180 @@ def pairwise(data: np.ndarray, q: np.ndarray, metric: str) -> np.ndarray:
             f"unknown metric {metric!r}; available: {sorted(_PAIRWISE)}"
         ) from None
     return kernel(data, q)
+
+
+def _rows_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    diff = a - b
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def _rows_squared_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    diff = a - b
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _rows_manhattan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.sum(np.abs(a - b), axis=1)
+
+
+def _rows_angular(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    na = np.linalg.norm(a, axis=1)
+    nb = np.linalg.norm(b, axis=1)
+    if np.any(na == 0.0) or np.any(nb == 0.0):
+        raise ValueError("angular distance is undefined for zero vectors")
+    cos = np.clip(np.einsum("ij,ij->i", a, b) / (na * nb), -1.0, 1.0)
+    return np.arccos(cos)
+
+
+def _rows_cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    na = np.linalg.norm(a, axis=1)
+    nb = np.linalg.norm(b, axis=1)
+    if np.any(na == 0.0) or np.any(nb == 0.0):
+        raise ValueError("cosine distance is undefined for zero vectors")
+    return 1.0 - np.clip(np.einsum("ij,ij->i", a, b) / (na * nb), -1.0, 1.0)
+
+
+def _rows_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.count_nonzero(a != b, axis=1).astype(np.float64)
+
+
+def _rows_jaccard(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    ab = a != 0
+    bb = b != 0
+    inter = np.count_nonzero(ab & bb, axis=1).astype(np.float64)
+    union = np.count_nonzero(ab | bb, axis=1).astype(np.float64)
+    out = np.ones(len(a))
+    nonempty = union > 0
+    out[nonempty] = 1.0 - inter[nonempty] / union[nonempty]
+    out[~nonempty] = 0.0
+    return out
+
+
+_ROWS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "euclidean": _rows_euclidean,
+    "squared_euclidean": _rows_squared_euclidean,
+    "manhattan": _rows_manhattan,
+    "angular": _rows_angular,
+    "cosine": _rows_cosine,
+    "hamming": _rows_hamming,
+    "jaccard": _rows_jaccard,
+}
+
+
+def pairwise_rows(a: np.ndarray, b: np.ndarray, metric: str) -> np.ndarray:
+    """Row-wise distances ``dist(a[i], b[i])`` between equal-shape matrices.
+
+    The workhorse of batched candidate verification: the candidates of
+    every query in a batch are gathered into ``a``, the owning queries
+    repeated into ``b``, and all distances come from one kernel call.
+    Per row the result is bit-identical to :func:`pairwise`.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError(
+            f"a and b must be equal-shape 2-d arrays, got {a.shape} vs {b.shape}"
+        )
+    try:
+        kernel = _ROWS[metric]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {sorted(_ROWS)}"
+        ) from None
+    return kernel(a, b)
+
+
+def _cross_euclidean(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    diff = data[None, :, :] - queries[:, None, :]
+    return np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
+
+
+def _cross_squared_euclidean(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    diff = data[None, :, :] - queries[:, None, :]
+    return np.einsum("qnd,qnd->qn", diff, diff)
+
+
+def _cross_manhattan(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    return np.sum(np.abs(data[None, :, :] - queries[:, None, :]), axis=2)
+
+
+def _cross_angular(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    nd = np.linalg.norm(data, axis=1)
+    nq = np.linalg.norm(queries, axis=1)
+    if np.any(nd == 0.0) or np.any(nq == 0.0):
+        raise ValueError("angular distance is undefined for zero vectors")
+    cos = np.clip(
+        np.einsum("qd,nd->qn", queries, data) / (nq[:, None] * nd[None, :]),
+        -1.0, 1.0,
+    )
+    return np.arccos(cos)
+
+
+def _cross_cosine(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    nd = np.linalg.norm(data, axis=1)
+    nq = np.linalg.norm(queries, axis=1)
+    if np.any(nd == 0.0) or np.any(nq == 0.0):
+        raise ValueError("cosine distance is undefined for zero vectors")
+    return 1.0 - np.clip(
+        np.einsum("qd,nd->qn", queries, data) / (nq[:, None] * nd[None, :]),
+        -1.0, 1.0,
+    )
+
+
+def _cross_hamming(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    return np.count_nonzero(
+        data[None, :, :] != queries[:, None, :], axis=2
+    ).astype(np.float64)
+
+
+def _cross_jaccard(data: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    d = data != 0
+    q = queries != 0
+    inter = np.count_nonzero(d[None, :, :] & q[:, None, :], axis=2).astype(np.float64)
+    union = np.count_nonzero(d[None, :, :] | q[:, None, :], axis=2).astype(np.float64)
+    out = np.ones(inter.shape)
+    nonempty = union > 0
+    out[nonempty] = 1.0 - inter[nonempty] / union[nonempty]
+    out[~nonempty] = 0.0
+    return out
+
+
+_CROSS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "euclidean": _cross_euclidean,
+    "squared_euclidean": _cross_squared_euclidean,
+    "manhattan": _cross_manhattan,
+    "angular": _cross_angular,
+    "cosine": _cross_cosine,
+    "hamming": _cross_hamming,
+    "jaccard": _cross_jaccard,
+}
+
+
+def pairwise_cross(data: np.ndarray, queries: np.ndarray, metric: str) -> np.ndarray:
+    """Full cross-distance matrix ``out[i, j] = dist(queries[i], data[j])``.
+
+    One call covers every (query, point) pair.  For the elementwise
+    metrics (euclidean, manhattan, hamming, jaccard) results are
+    bit-identical per row to :func:`pairwise`; the dot-product metrics
+    (angular, cosine) may differ in the last ulp because the reduction
+    runs through a matrix product.  Callers that need exact agreement
+    with the single-query path (e.g. batched verification) should use
+    :func:`pairwise_rows` instead.
+    """
+    data = np.asarray(data)
+    queries = np.asarray(queries)
+    if data.ndim != 2 or queries.ndim != 2 or data.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"data {data.shape} and queries {queries.shape} must be 2-d "
+            "with matching dimensionality"
+        )
+    try:
+        kernel = _CROSS[metric]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {metric!r}; available: {sorted(_CROSS)}"
+        ) from None
+    return kernel(data, queries)
 
 
 def normalize_rows(data: np.ndarray) -> np.ndarray:

@@ -35,7 +35,7 @@ def format_table(
 def format_results(results: Sequence[EvalResult]) -> str:
     """Table of EvalResults: method, params, recall, ratio, time, size."""
     headers = (
-        "method", "params", "recall%", "ratio", "time(ms)",
+        "method", "params", "recall%", "ratio", "time(ms)", "QPS",
         "build(s)", "size(MB)", "candidates",
     )
     rows = []
@@ -48,6 +48,7 @@ def format_results(results: Sequence[EvalResult]) -> str:
                 r.recall * 100.0,
                 r.ratio,
                 r.avg_query_time_ms,
+                r.qps,
                 r.build_time_s,
                 r.index_size_mb,
                 r.stats.get("candidates", float("nan")),
