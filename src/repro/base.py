@@ -12,7 +12,6 @@ times.
 from __future__ import annotations
 
 import abc
-import pickle
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -88,7 +87,7 @@ class ANNIndex(abc.ABC):
         Both arrays are sorted by ascending distance and may be shorter
         than ``k`` if the index surfaced fewer candidates.
         """
-        if self._data is None:
+        if not self.is_fitted:
             raise RuntimeError("index must be fitted before querying")
         q = np.asarray(q)
         if q.shape != (self.dim,):
@@ -109,7 +108,7 @@ class ANNIndex(abc.ABC):
         :meth:`query` row by row.  After the call ``last_stats`` holds
         work counters summed over the whole batch.
         """
-        if self._data is None:
+        if not self.is_fitted:
             raise RuntimeError("index must be fitted before querying")
         queries = np.asarray(queries)
         if queries.ndim != 2:
@@ -134,22 +133,61 @@ class ANNIndex(abc.ABC):
         return 0
 
     def save(self, path: str) -> None:
-        """Persist the fitted index (including the raw data) to ``path``."""
-        with open(path, "wb") as f:
-            pickle.dump(self, f, protocol=pickle.HIGHEST_PROTOCOL)
+        """Persist the index (including the raw data) as a bundle at ``path``.
+
+        The bundle is a directory holding ``manifest.json`` plus
+        ``arrays.npz`` (see :mod:`repro.serve.persistence` for the
+        format).  Indexes implementing the :meth:`_export_state` /
+        :meth:`_import_state` hooks are written natively (no pickle
+        anywhere); the rest go through the documented pickle fallback
+        inside the same bundle layout.
+        """
+        from repro.serve.persistence import save_index
+
+        save_index(self, path)
 
     @staticmethod
     def load(path: str) -> "ANNIndex":
-        """Load an index previously written by :meth:`save`."""
-        with open(path, "rb") as f:
-            index = pickle.load(f)
-        if not isinstance(index, ANNIndex):
-            raise TypeError(f"{path} does not contain an ANNIndex")
-        return index
+        """Load an index previously written by :meth:`save`.
+
+        Accepts a bundle directory (raising
+        :class:`repro.serve.persistence.BundleError` on corrupt or
+        wrong-version bundles) or, for backward compatibility, a legacy
+        single-file pickle.
+        """
+        from repro.serve.persistence import load_index
+
+        return load_index(path)
 
     # ------------------------------------------------------------------
     # Hooks and helpers for subclasses
     # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Split the index into JSON-safe metadata and named arrays.
+
+        Native-persistence hook: return ``(state, arrays)`` where
+        ``state`` survives a JSON round trip and ``arrays`` maps names to
+        numpy arrays; common fields (``dim``, ``metric``, ``seed``,
+        ``build_time``, ``last_stats``) are recorded by the caller and
+        must not be duplicated here.  The default raises
+        ``NotImplementedError``, which makes ``save`` fall back to the
+        documented pickle serializer.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def _import_state(
+        cls, manifest: dict, arrays: Dict[str, np.ndarray]
+    ) -> "ANNIndex":
+        """Rebuild an index from a bundle's manifest and arrays.
+
+        Counterpart of :meth:`_export_state`; ``manifest["state"]`` holds
+        the subclass metadata and ``manifest`` itself the common fields.
+        Implementations must reproduce an index whose queries are
+        byte-identical to the saved one's.
+        """
+        raise NotImplementedError
 
     @abc.abstractmethod
     def _fit(self, data: np.ndarray) -> None:

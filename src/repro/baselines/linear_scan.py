@@ -7,7 +7,7 @@ truth and as the trivially-correct baseline in tests.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -27,3 +27,24 @@ class LinearScan(ANNIndex):
 
     def _query(self, q: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         return self._verify(np.arange(self.n), q, k)
+
+    # ------------------------------------------------------------------
+    # Native persistence: the raw data is the whole state.
+    # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        arrays = {} if self._data is None else {"data": self._data}
+        return {}, arrays
+
+    @classmethod
+    def _import_state(
+        cls, manifest: dict, arrays: Dict[str, np.ndarray]
+    ) -> "LinearScan":
+        index = cls(
+            dim=int(manifest["dim"]),
+            metric=manifest["metric"],
+            seed=manifest["seed"],
+        )
+        if "data" in arrays:
+            index._data = arrays["data"]
+        return index

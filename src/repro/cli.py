@@ -5,6 +5,9 @@ Subcommands:
 * ``datasets`` — print the (simulated) paper Table 2 statistics.
 * ``compare`` — evaluate a set of methods on one dataset and print the
   recall / ratio / time / size table.
+* ``build`` — fit an index (optionally sharded) and save it as a
+  reusable bundle directory.
+* ``query`` — load a saved bundle and evaluate it on a query workload.
 * ``theory`` — collision probabilities and Theorem 5.1's lambda for a
   parameter setting.
 
@@ -13,6 +16,9 @@ Examples::
     python -m repro.cli datasets --n 2000
     python -m repro.cli compare --dataset sift --n 3000 --metric euclidean
     python -m repro.cli compare --dataset sift --n 3000 --batch
+    python -m repro.cli build --dataset sift --n 20000 --method lccs \\
+        --shards 4 --out sift.bundle
+    python -m repro.cli query sift.bundle --queries 100 --k 10 --batch
     python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
 """
 
@@ -50,64 +56,95 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 _METHOD_CHOICES = (
-    "lccs", "mp-lccs", "e2lsh", "multiprobe", "falconn", "c2lsh",
+    "lccs", "mp-lccs", "dynamic", "e2lsh", "multiprobe", "falconn", "c2lsh",
     "qalsh", "srs", "scan",
 )
 
 
-def _build_method(name: str, dim: int, metric: str, w: float, seed: int):
-    from repro import LCCSLSH, MPLCCSLSH
-    from repro.baselines import (
-        C2LSH, E2LSH, FALCONN, LinearScan, MultiProbeLSH, QALSH, SRS,
-    )
+def _method_spec(name: str, dim: int, metric: str, w: float, seed: int):
+    """(IndexSpec, default query kwargs) for a CLI method name.
+
+    Specs (rather than constructed indexes) keep the recipes picklable,
+    which is what lets ``--shards`` build shard indexes in a process
+    pool and record the recipe in the bundle manifest.
+    """
+    from repro.serve import IndexSpec
 
     angular = metric == "angular"
     if name == "lccs":
-        index = (
-            LCCSLSH(dim=dim, m=64, metric="angular", cp_dim=16, seed=seed)
+        spec = (
+            IndexSpec("LCCSLSH", dim=dim, m=64, metric="angular", cp_dim=16,
+                      seed=seed)
             if angular
-            else LCCSLSH(dim=dim, m=64, w=w, seed=seed)
+            else IndexSpec("LCCSLSH", dim=dim, m=64, w=w, seed=seed)
         )
-        return index, {"num_candidates": 200}
+        return spec, {"num_candidates": 200}
     if name == "mp-lccs":
-        index = (
-            MPLCCSLSH(
-                dim=dim, m=32, metric="angular", cp_dim=16, seed=seed,
-                n_probes=33,
-            )
+        spec = (
+            IndexSpec("MPLCCSLSH", dim=dim, m=32, metric="angular", cp_dim=16,
+                      seed=seed, n_probes=33)
             if angular
-            else MPLCCSLSH(dim=dim, m=32, w=w, seed=seed, n_probes=33)
+            else IndexSpec("MPLCCSLSH", dim=dim, m=32, w=w, seed=seed,
+                           n_probes=33)
         )
-        return index, {"num_candidates": 200}
+        return spec, {"num_candidates": 200}
+    if name == "dynamic":
+        spec = (
+            IndexSpec("DynamicLCCSLSH", dim=dim, m=64, metric="angular",
+                      cp_dim=16, seed=seed)
+            if angular
+            else IndexSpec("DynamicLCCSLSH", dim=dim, m=64, w=w, seed=seed)
+        )
+        return spec, {"num_candidates": 200}
     if name == "e2lsh":
-        index = (
-            E2LSH(dim=dim, K=1, L=32, metric="angular", cp_dim=16, seed=seed)
+        spec = (
+            IndexSpec("E2LSH", dim=dim, K=1, L=32, metric="angular",
+                      cp_dim=16, seed=seed)
             if angular
-            else E2LSH(dim=dim, K=4, L=32, w=w, seed=seed)
+            else IndexSpec("E2LSH", dim=dim, K=4, L=32, w=w, seed=seed)
         )
-        return index, {}
+        return spec, {}
     if name == "multiprobe":
         return (
-            MultiProbeLSH(dim=dim, K=8, L=8, w=w, n_probes=64, seed=seed),
+            IndexSpec("MultiProbeLSH", dim=dim, K=8, L=8, w=w, n_probes=64,
+                      seed=seed),
             {},
         )
     if name == "falconn":
-        return FALCONN(dim=dim, K=1, L=16, cp_dim=16, n_probes=64, seed=seed), {}
-    if name == "c2lsh":
-        index = (
-            C2LSH(dim=dim, m=32, l=3, metric="angular", cp_dim=16,
-                  beta=0.05, seed=seed)
-            if angular
-            else C2LSH(dim=dim, m=32, l=6, w=w / 2, beta=0.05, seed=seed)
+        return (
+            IndexSpec("FALCONN", dim=dim, K=1, L=16, cp_dim=16, n_probes=64,
+                      seed=seed),
+            {},
         )
-        return index, {}
+    if name == "c2lsh":
+        spec = (
+            IndexSpec("C2LSH", dim=dim, m=32, l=3, metric="angular",
+                      cp_dim=16, beta=0.05, seed=seed)
+            if angular
+            else IndexSpec("C2LSH", dim=dim, m=32, l=6, w=w / 2, beta=0.05,
+                           seed=seed)
+        )
+        return spec, {}
     if name == "qalsh":
-        return QALSH(dim=dim, m=32, l=6, w=1.0, beta=0.05, seed=seed), {}
+        return (
+            IndexSpec("QALSH", dim=dim, m=32, l=6, w=1.0, beta=0.05,
+                      seed=seed),
+            {},
+        )
     if name == "srs":
-        return SRS(dim=dim, d_proj=6, c=2.0, max_fraction=0.05, seed=seed), {}
+        return (
+            IndexSpec("SRS", dim=dim, d_proj=6, c=2.0, max_fraction=0.05,
+                      seed=seed),
+            {},
+        )
     if name == "scan":
-        return LinearScan(dim=dim, metric=metric), {}
+        return IndexSpec("LinearScan", dim=dim, metric=metric), {}
     raise ValueError(f"unknown method {name!r}")
+
+
+def _build_method(name: str, dim: int, metric: str, w: float, seed: int):
+    spec, query_kwargs = _method_spec(name, dim, metric, w, seed)
+    return spec.build(), query_kwargs
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -155,6 +192,117 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"dataset={args.dataset} n={len(data)} d={ds.dim} "
           f"metric={args.metric} k={args.k} mode={mode}\n")
     print(format_results(results))
+    return 0
+
+
+def _estimate_w(args: argparse.Namespace, data, queries, metric: str) -> float:
+    from repro.data import compute_ground_truth
+
+    gt = compute_ground_truth(data, queries, k=args.k, metric=metric)
+    return 2.0 * float(np.mean(gt.distances))
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset
+    from repro.distances import normalize_rows
+    from repro.serve import ShardedIndex, save_index
+
+    ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries,
+                      seed=args.seed)
+    data, queries = ds.data, ds.queries
+    if args.metric == "angular":
+        data = normalize_rows(data)
+        queries = normalize_rows(queries)
+    w = _estimate_w(args, data, queries, args.metric)
+    try:
+        spec, query_kwargs = _method_spec(
+            args.method, ds.dim, args.metric, w, args.seed
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        index = ShardedIndex(
+            spec, num_shards=args.shards, parallel=args.parallel
+        )
+    else:
+        index = spec.build()
+    index.fit(data)
+    extra = {
+        "dataset": args.dataset,
+        "n": int(len(data)),
+        "queries": int(args.queries),
+        "seed": int(args.seed),
+        "metric": args.metric,
+        "method": args.method,
+        "shards": int(args.shards),
+        "query_kwargs": query_kwargs,
+    }
+    save_index(index, args.out, extra=extra)
+    mode = getattr(index, "build_mode", None)
+    shard_note = (
+        f" shards={args.shards} build_mode={mode}" if args.shards > 1 else ""
+    )
+    print(
+        f"built {index.name} on {args.dataset} n={len(data)} d={ds.dim} "
+        f"in {index.build_time:.2f}s{shard_note}\nsaved bundle to {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.data import compute_ground_truth, load_dataset
+    from repro.distances import normalize_rows
+    from repro.eval import evaluate, format_results
+    from repro.serve import BundleError, load_index, read_manifest
+
+    try:
+        manifest = read_manifest(args.bundle)
+        index = load_index(args.bundle)
+    except BundleError as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    extra = manifest.get("extra", {})
+    dataset = args.dataset or extra.get("dataset", "sift")
+    n = args.n or extra.get("n", 3000)
+    seed = args.seed if args.seed is not None else extra.get("seed", 42)
+    # The query split must match the build split exactly (the dataset is
+    # regenerated deterministically), so the recorded count wins unless
+    # explicitly overridden.
+    n_queries = (
+        args.queries if args.queries is not None else extra.get("queries", 15)
+    )
+    metric = extra.get("metric", index.metric)
+    if extra:
+        recorded = (
+            extra.get("dataset"), extra.get("n"), extra.get("queries"),
+            extra.get("seed"),
+        )
+        if recorded != (dataset, n, n_queries, seed):
+            print(
+                "warning: dataset/n/queries/seed differ from the values "
+                "recorded at build time; the regenerated split is not the "
+                "data this index was built on, so recall/ratio are not "
+                "meaningful",
+                file=sys.stderr,
+            )
+    ds = load_dataset(dataset, n=n, n_queries=n_queries, seed=seed)
+    data, queries = ds.data, ds.queries
+    if metric == "angular":
+        data = normalize_rows(data)
+        queries = normalize_rows(queries)
+    gt = compute_ground_truth(data, queries, k=args.k, metric=metric)
+    query_kwargs = dict(extra.get("query_kwargs", {}))
+    result = evaluate(
+        index, data, queries, gt, k=args.k, query_kwargs=query_kwargs,
+        params={"bundle": args.bundle}, batch=args.batch,
+    )
+    mode = "batched" if args.batch else "per-query"
+    print(
+        f"bundle={args.bundle} class={manifest.get('class')} "
+        f"dataset={dataset} n={len(data)} k={args.k} mode={mode}\n"
+    )
+    print(format_results([result]))
     return 0
 
 
@@ -252,6 +400,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "build", help="fit an index (optionally sharded) and save a bundle"
+    )
+    p.add_argument("--dataset", default="sift")
+    p.add_argument("--n", type=int, default=3000)
+    p.add_argument("--queries", type=int, default=15)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--metric", choices=("euclidean", "angular"), default="euclidean")
+    p.add_argument("--method", default="lccs", choices=_METHOD_CHOICES)
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the data across this many shard indexes (>1 "
+        "enables the sharded fan-out/merge engine)",
+    )
+    p.add_argument(
+        "--parallel", choices=("process", "thread", "serial"),
+        default="process", help="how shard builds and fan-out run",
+    )
+    p.add_argument("--out", required=True, help="bundle directory to write")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser(
+        "query", help="load a saved bundle and evaluate it on queries"
+    )
+    p.add_argument("bundle", help="bundle directory written by `build`")
+    p.add_argument(
+        "--dataset", default=None,
+        help="override the dataset recorded in the bundle",
+    )
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument(
+        "--queries", type=int, default=None,
+        help="query count; defaults to the count recorded at build time "
+        "(changing it regenerates a different data/query split)",
+    )
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument(
+        "--batch", action="store_true",
+        help="answer all queries through the vectorised batch engine",
+    )
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("profile", help="per-phase query time breakdown")
     p.add_argument("--dataset", default="sift")

@@ -18,7 +18,7 @@ pay ``O(|buffer| * d)`` extra until the next rebuild.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -262,6 +262,73 @@ class DynamicLCCSLSH(ANNIndex):
         # them into the CSA.
         itemsize = self._store.itemsize if self._store is not None else 8
         return inner + len(self._buffer_handles) * self.dim * itemsize
+
+    # ------------------------------------------------------------------
+    # Native persistence: the live prefix of the store, the handle
+    # bookkeeping, and the inner LCCS index nested under an ``inner.``
+    # array prefix.  Only the live prefix is written, so the loaded
+    # store is exactly as large as its contents (growth restarts from
+    # there).
+    # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        from repro.serve.persistence import export_index, json_safe, pack_nested
+
+        if not json_safe(self._lccs_kwargs):
+            # e.g. a pre-built HashFamily object was passed through; the
+            # pickle fallback handles that faithfully.
+            raise NotImplementedError(
+                "DynamicLCCSLSH with non-JSON-safe LCCS kwargs"
+            )
+        state: dict = {
+            "m": self._m,
+            "rebuild_threshold": self.rebuild_threshold,
+            "lccs_kwargs": dict(self._lccs_kwargs),
+            "buffer_handles": [int(h) for h in self._buffer_handles],
+            "dead": sorted(int(h) for h in self._dead),
+            "rebuilds": int(self.rebuilds),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if self._store is not None:
+            arrays["store"] = self._vectors
+            arrays["indexed_handles"] = self._indexed_handles
+        if self._inner is not None:
+            inner_manifest, inner_arrays = export_index(self._inner)
+            state["inner"] = inner_manifest
+            arrays.update(pack_nested(inner_arrays, "inner"))
+        return state, arrays
+
+    @classmethod
+    def _import_state(
+        cls, manifest: dict, arrays: Dict[str, np.ndarray]
+    ) -> "DynamicLCCSLSH":
+        from repro.serve.persistence import import_index, unpack_nested
+
+        state = manifest["state"]
+        kwargs = dict(state["lccs_kwargs"])
+        kwargs.setdefault("seed", manifest["seed"])
+        index = cls(
+            dim=int(manifest["dim"]),
+            m=int(state["m"]),
+            metric=manifest["metric"],
+            rebuild_threshold=float(state["rebuild_threshold"]),
+            **kwargs,
+        )
+        if "store" in arrays:
+            index._store = np.ascontiguousarray(arrays["store"])
+            index._size = len(index._store)
+            index._indexed_handles = np.asarray(
+                arrays["indexed_handles"], dtype=np.int64
+            )
+            index._data = index._vectors
+        index._buffer_handles = [int(h) for h in state["buffer_handles"]]
+        index._dead = set(int(h) for h in state["dead"])
+        index.rebuilds = int(state["rebuilds"])
+        if "inner" in state:
+            index._inner = import_index(
+                state["inner"], unpack_nested(arrays, "inner"), source="<inner>"
+            )
+        return index
 
     def get_vector(self, handle: int) -> np.ndarray:
         """The vector behind a handle (copies; raises KeyError if unknown)."""

@@ -13,7 +13,7 @@ time and defaults to a small multiple of ``sqrt(n)``.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -175,3 +175,54 @@ class LCCSLSH(ANNIndex):
         if self.csa is None:
             return self.family.size_bytes()
         return self.family.size_bytes() + self.csa.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Native persistence.  The CSA is *not* serialized: it is a pure
+    # deterministic function of the hash strings, so the loader rebuilds
+    # it and queries stay byte-identical while bundles stay small.
+    # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        family_meta, family_arrays = self.family.export_state()
+        state = {"m": self.m, "family": family_meta}
+        arrays = {f"family.{key}": val for key, val in family_arrays.items()}
+        if self._data is not None:
+            arrays["data"] = self._data
+        if self.hash_strings is not None:
+            arrays["hash_strings"] = self.hash_strings
+        return state, arrays
+
+    @classmethod
+    def _import_state(
+        cls, manifest: dict, arrays: Dict[str, np.ndarray]
+    ) -> "LCCSLSH":
+        from repro.hashes import HashFamily as _HashFamily
+
+        state = manifest["state"]
+        family = _HashFamily.from_state(
+            state["family"],
+            {
+                key[len("family."):]: val
+                for key, val in arrays.items()
+                if key.startswith("family.")
+            },
+        )
+        index = cls(
+            dim=int(manifest["dim"]),
+            m=int(state["m"]),
+            family=family,
+            seed=manifest["seed"],
+            **cls._extra_init_kwargs(state),
+        )
+        index.metric = manifest["metric"]
+        if "data" in arrays:
+            index._data = arrays["data"]
+        if "hash_strings" in arrays:
+            index.hash_strings = arrays["hash_strings"]
+            index.csa = CircularShiftArray(index.hash_strings)
+        return index
+
+    @classmethod
+    def _extra_init_kwargs(cls, state: dict) -> dict:
+        """Constructor kwargs subclasses add on import (hook for MP)."""
+        return {}

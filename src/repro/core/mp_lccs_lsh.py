@@ -19,7 +19,7 @@ the query hash string against the same CSA.  Per paper:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -72,6 +72,25 @@ class MPLCCSLSH(LCCSLSH):
         self.n_probes = int(n_probes)
         self.max_gap = int(max_gap)
         self.max_alternatives = int(max_alternatives)
+
+    # ------------------------------------------------------------------
+    # Native persistence: LCCSLSH state plus the probing knobs.
+    # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        state, arrays = super()._export_state()
+        state["n_probes"] = self.n_probes
+        state["max_gap"] = self.max_gap
+        state["max_alternatives"] = self.max_alternatives
+        return state, arrays
+
+    @classmethod
+    def _extra_init_kwargs(cls, state: dict) -> dict:
+        return {
+            "n_probes": int(state["n_probes"]),
+            "max_gap": int(state["max_gap"]),
+            "max_alternatives": int(state["max_alternatives"]),
+        }
 
     # ------------------------------------------------------------------
 

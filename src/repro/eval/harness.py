@@ -74,7 +74,10 @@ def evaluate(
         k: number of neighbours to request.
         query_kwargs: extra arguments forwarded to ``index.query``
             (e.g. ``num_candidates``, ``n_probes``).
-        params: free-form parameter dict recorded in the result.
+        params: free-form parameter dict recorded in the result.  For a
+            :class:`~repro.serve.sharding.ShardedIndex` the shard count
+            and build mode are recorded automatically, so sharded and
+            unsharded runs are distinguishable in reports.
         batch: when True, answer all queries through one
             ``index.batch_query`` call (the vectorised engine) instead of
             a per-query loop; accuracy metrics are unchanged because both
@@ -119,6 +122,15 @@ def evaluate(
         ratios[i] = overall_ratio(dists, ground_truth.distances[i, :k])
     stats_avg = {key: val / nq for key, val in stats_acc.items()}
     finite = ratios[np.isfinite(ratios)]
+    params = dict(params or {})
+    # Sharded indexes evaluate like any other; annotate the result so
+    # sweeps over shard counts stay self-describing.
+    num_shards = getattr(index, "num_shards", None)
+    if num_shards is not None:
+        params.setdefault("shards", int(num_shards))
+        build_mode = getattr(index, "build_mode", None)
+        if build_mode is not None:
+            params.setdefault("build_mode", build_mode)
     return EvalResult(
         method=index.name,
         k=k,
@@ -128,6 +140,6 @@ def evaluate(
         build_time_s=index.build_time,
         index_size_mb=index.index_size_bytes() / (1024.0 * 1024.0),
         qps=nq / elapsed if elapsed > 0 else float("inf"),
-        params=dict(params or {}),
+        params=params,
         stats=stats_avg,
     )

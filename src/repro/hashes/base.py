@@ -10,11 +10,14 @@ and FALCONN).
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["HashFamily", "PositionAlternatives"]
+
+#: attributes handled explicitly by ``export_state`` / ``from_state``
+_STATE_SPECIAL = ("dim", "m", "seed", "rng")
 
 #: alternatives of one position: parallel (codes, scores), sorted by score
 PositionAlternatives = Tuple[np.ndarray, np.ndarray]
@@ -86,6 +89,71 @@ class HashFamily(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+
+    def export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Split the family into a JSON-safe meta dict and named arrays.
+
+        Used by the native index persistence protocol
+        (:mod:`repro.serve.persistence`): scalar parameters and the RNG
+        state go into the manifest, drawn parameters (projections,
+        offsets, seeds tables) into the ``.npz`` payload.  Families whose
+        state is exactly "ndarray attributes + scalar attributes" — all
+        of the built-in ones — need no per-class code.
+
+        Raises ``NotImplementedError`` for families carrying state this
+        generic split cannot represent, which makes the owning index fall
+        back to the pickle serializer.
+        """
+        meta: dict = {
+            "family": type(self).__name__,
+            "dim": self.dim,
+            "m": self.m,
+            "seed": self.seed,
+            "rng_state": self.rng.bit_generator.state,
+            "params": {},
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for key, val in self.__dict__.items():
+            if key in _STATE_SPECIAL:
+                continue
+            if isinstance(val, np.ndarray):
+                arrays[key] = val
+            elif isinstance(val, (bool, int, float, str)) or val is None:
+                meta["params"][key] = val
+            else:
+                raise NotImplementedError(
+                    f"{type(self).__name__}.{key} ({type(val).__name__}) is "
+                    "not expressible in the npz/JSON bundle format"
+                )
+        return meta, arrays
+
+    @staticmethod
+    def from_state(meta: dict, arrays: Dict[str, np.ndarray]) -> "HashFamily":
+        """Rebuild a family from :meth:`export_state` output.
+
+        Dispatches on ``meta['family']`` over the classes exported by
+        :mod:`repro.hashes`; construction bypasses ``__init__`` (the
+        drawn parameters are restored verbatim, not re-drawn).
+        """
+        import repro.hashes as _hashes
+
+        name = meta.get("family")
+        cls = getattr(_hashes, str(name), None)
+        if not (isinstance(cls, type) and issubclass(cls, HashFamily)):
+            raise ValueError(f"unknown hash family {name!r}")
+        fam = cls.__new__(cls)
+        fam.dim = int(meta["dim"])
+        fam.m = int(meta["m"])
+        fam.seed = meta["seed"]
+        fam.rng = np.random.default_rng(fam.seed)
+        rng_state = meta.get("rng_state")
+        if rng_state is not None:
+            fam.rng.bit_generator.state = rng_state
+        for key, val in meta.get("params", {}).items():
+            setattr(fam, key, val)
+        for key, val in arrays.items():
+            setattr(fam, key, val)
+        return fam
 
     @abc.abstractmethod
     def _hash_batch(self, data: np.ndarray) -> np.ndarray:

@@ -1,0 +1,61 @@
+"""Serving layer: durable index bundles and sharded, parallel serving.
+
+This package turns the in-process indexes into servable artifacts:
+
+* :mod:`repro.serve.persistence` — the ``save``/``load`` bundle format.
+  A bundle is a directory of ``manifest.json`` (format version, registry
+  class name, ``dim``/``metric``/``seed``, build time, work counters,
+  JSON-safe native state) plus ``arrays.npz`` (every numpy array the
+  index needs).  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``,
+  ``LinearScan`` and ``ShardedIndex`` serialize natively (no pickle
+  anywhere; ``arrays.npz`` is read with ``allow_pickle=False``); every
+  other baseline falls back to the documented pickle serializer inside
+  the same layout.  Corrupt manifests, wrong ``format_version`` and
+  unknown classes raise :class:`~repro.serve.persistence.BundleError`.
+* :mod:`repro.serve.sharding` — :class:`~repro.serve.sharding.ShardedIndex`
+  partitions the rows into contiguous shards, builds them in parallel
+  (process pool, with thread/serial fallbacks), fans queries out, and
+  merges per-shard top-k by the canonical tie-order
+  ``np.lexsort((ids, dists))``: ascending distance, ties by ascending
+  global id.  Because every index ranks with the same lexsort and the
+  distance kernels are row-wise bit-identical, candidate-saturated
+  sharded queries are byte-identical to unsharded ones.
+* :mod:`repro.serve.registry` — name -> class registry the manifests
+  reference, so loading a bundle never unpickles a class reference.
+"""
+
+from repro.serve.persistence import (
+    FORMAT_VERSION,
+    BundleError,
+    export_index,
+    import_index,
+    load_index,
+    read_manifest,
+    save_index,
+)
+from repro.serve.registry import (
+    index_names,
+    index_registry,
+    register_index,
+    registry_name,
+    resolve_index_class,
+)
+from repro.serve.sharding import IndexSpec, ShardedIndex, merge_topk
+
+__all__ = [
+    "BundleError",
+    "FORMAT_VERSION",
+    "IndexSpec",
+    "ShardedIndex",
+    "export_index",
+    "import_index",
+    "index_names",
+    "index_registry",
+    "load_index",
+    "merge_topk",
+    "read_manifest",
+    "register_index",
+    "registry_name",
+    "resolve_index_class",
+    "save_index",
+]

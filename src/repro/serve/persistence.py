@@ -1,0 +1,302 @@
+"""Index persistence: ``.npz`` + JSON-manifest bundles.
+
+A *bundle* is a directory with exactly two files::
+
+    <path>/
+        manifest.json   # format version, registry class name, dim,
+                        # metric, seed, build_time, work counters, and
+                        # the index's JSON-safe native state
+        arrays.npz      # every numpy array the index needs (raw data,
+                        # hash strings, projections, shard payloads)
+
+Two serializers share this layout:
+
+* ``native`` — the index implements the :meth:`ANNIndex._export_state` /
+  :meth:`ANNIndex._import_state` hooks, splitting itself into JSON-safe
+  metadata and named arrays.  Loading never unpickles anything
+  (``arrays.npz`` is read with ``allow_pickle=False``), bundles are
+  inspectable with a text editor plus ``np.load``, and they stay
+  readable across library refactors as long as the hook contract holds.
+  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan`` and
+  ``ShardedIndex`` ship native implementations.
+* ``pickle`` — the documented fallback for the remaining baselines: the
+  whole index object is pickled into a single ``uint8`` array stored
+  under the ``__pickle__`` key of ``arrays.npz``.  Same on-disk layout,
+  same API, but the usual pickle caveats apply (trusted inputs only, and
+  bundles are tied to the class layout of the writing version).  Indexes
+  opt in simply by *not* overriding the export hooks.
+
+``ANNIndex.load`` also accepts a legacy single-file pickle (what
+``save`` wrote before the bundle format existed) when ``path`` is a
+file rather than a directory.
+
+Errors are reported as :class:`BundleError` (corrupt or missing
+manifest, wrong ``format_version``, unknown registry class, missing
+arrays), so callers can distinguish bad bundles from programming errors.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.base import ANNIndex
+
+__all__ = [
+    "BundleError",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "export_index",
+    "import_index",
+    "save_index",
+    "load_index",
+    "read_manifest",
+]
+
+#: bump when the bundle layout changes incompatibly
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+#: npz key holding the pickled index when the fallback serializer is used
+PICKLE_KEY = "__pickle__"
+
+
+class BundleError(RuntimeError):
+    """A bundle is corrupt, incomplete, or from an incompatible version."""
+
+
+def json_safe(obj) -> bool:
+    """Whether ``obj`` survives a JSON round trip unchanged (scalars,
+    strings, None, and lists/dicts thereof)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return True
+    if isinstance(obj, (list, tuple)):
+        return all(json_safe(v) for v in obj)
+    if isinstance(obj, dict):
+        return all(isinstance(k, str) and json_safe(v) for k, v in obj.items())
+    return False
+
+
+# ----------------------------------------------------------------------
+# In-memory export / import (also used for nesting, e.g. shard payloads)
+# ----------------------------------------------------------------------
+
+def export_index(index: "ANNIndex") -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Flatten ``index`` into ``(manifest, arrays)``.
+
+    Tries the native hooks first; on ``NotImplementedError`` falls back
+    to the documented pickle serializer (the whole object as a ``uint8``
+    array under ``__pickle__``).
+    """
+    from repro import __version__
+    from repro.serve.registry import registry_name
+
+    manifest: dict = {
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "class": registry_name(type(index)),
+        "dim": index.dim,
+        "metric": index.metric,
+        "seed": index.seed,
+        "fitted": index.is_fitted,
+        "build_time": float(index.build_time),
+        "last_stats": {k: float(v) for k, v in index.last_stats.items()},
+    }
+    try:
+        state, arrays = index._export_state()
+        if not json_safe(state):
+            raise NotImplementedError(
+                f"{type(index).__name__}._export_state returned non-JSON-safe "
+                "metadata"
+            )
+        manifest["serializer"] = "native"
+        manifest["state"] = state
+    except NotImplementedError:
+        manifest["serializer"] = "pickle"
+        payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        arrays = {PICKLE_KEY: np.frombuffer(payload, dtype=np.uint8)}
+    # Recorded so the loader can detect truncated payloads up front.
+    manifest["array_names"] = sorted(arrays)
+    return manifest, arrays
+
+
+def import_index(
+    manifest: dict, arrays: Dict[str, np.ndarray], source: str = "<bundle>"
+) -> "ANNIndex":
+    """Rebuild an index from :func:`export_index` output.
+
+    Args:
+        manifest: parsed manifest dictionary.
+        arrays: named arrays (already loaded; never unpickled here).
+        source: human-readable origin used in error messages.
+    """
+    from repro.base import ANNIndex
+    from repro.serve.registry import resolve_index_class
+
+    if not isinstance(manifest, dict):
+        raise BundleError(f"{source}: manifest must be a JSON object")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BundleError(
+            f"{source}: unsupported bundle format_version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    for key in ("class", "serializer", "dim", "metric"):
+        if key not in manifest:
+            raise BundleError(f"{source}: manifest is missing {key!r}")
+    try:
+        cls = resolve_index_class(manifest["class"])
+    except KeyError as exc:
+        raise BundleError(f"{source}: {exc.args[0]}") from None
+
+    expected = manifest.get("array_names")
+    if expected is not None:
+        missing = sorted(set(expected) - set(arrays))
+        if missing:
+            raise BundleError(
+                f"{source}: arrays missing from payload: {missing[:5]}"
+                f"{' ...' if len(missing) > 5 else ''}"
+            )
+
+    serializer = manifest["serializer"]
+    if serializer == "pickle":
+        if PICKLE_KEY not in arrays:
+            raise BundleError(f"{source}: pickle bundle is missing its payload")
+        index = pickle.loads(arrays[PICKLE_KEY].tobytes())
+        if not isinstance(index, ANNIndex):
+            raise BundleError(
+                f"{source}: pickle payload is {type(index).__name__}, "
+                "not an ANNIndex"
+            )
+    elif serializer == "native":
+        try:
+            index = cls._import_state(manifest, dict(arrays))
+        except (KeyError, IndexError) as exc:
+            raise BundleError(
+                f"{source}: incomplete native state for {manifest['class']}: "
+                f"{exc!r}"
+            ) from exc
+    else:
+        raise BundleError(f"{source}: unknown serializer {serializer!r}")
+
+    if index.dim != manifest["dim"] or index.metric != manifest["metric"]:
+        raise BundleError(
+            f"{source}: reconstructed index (dim={index.dim}, "
+            f"metric={index.metric!r}) contradicts its manifest "
+            f"(dim={manifest['dim']}, metric={manifest['metric']!r})"
+        )
+    index.build_time = float(manifest.get("build_time", 0.0))
+    index.last_stats = {
+        k: float(v) for k, v in manifest.get("last_stats", {}).items()
+    }
+    return index
+
+
+# ----------------------------------------------------------------------
+# Nesting helpers (Dynamic inner index, Sharded shard payloads)
+# ----------------------------------------------------------------------
+
+def pack_nested(
+    arrays: Dict[str, np.ndarray], prefix: str
+) -> Dict[str, np.ndarray]:
+    """Prefix a nested index's arrays so several fit in one ``.npz``."""
+    return {f"{prefix}.{key}": val for key, val in arrays.items()}
+
+
+def unpack_nested(arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+    """Invert :func:`pack_nested` for one prefix."""
+    head = f"{prefix}."
+    return {
+        key[len(head):]: val for key, val in arrays.items()
+        if key.startswith(head)
+    }
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+
+def save_index(
+    index: "ANNIndex", path: str, extra: Optional[dict] = None
+) -> str:
+    """Write ``index`` as a bundle directory at ``path``; returns ``path``.
+
+    Args:
+        index: any :class:`ANNIndex` (fitted or not).
+        path: bundle directory (created if needed; files overwritten).
+        extra: optional JSON-safe application metadata stored under the
+            manifest's ``"extra"`` key (the CLI records dataset
+            provenance here).
+    """
+    manifest, arrays = export_index(index)
+    if extra is not None:
+        if not json_safe(extra):
+            raise ValueError("extra metadata must be JSON-safe")
+        manifest["extra"] = extra
+    if os.path.exists(path) and not os.path.isdir(path):
+        raise BundleError(
+            f"{path} exists and is not a directory; bundles are directories"
+        )
+    os.makedirs(path, exist_ok=True)
+    # Write arrays first so a torn write leaves no parseable manifest.
+    with open(os.path.join(path, ARRAYS_NAME), "wb") as f:
+        np.savez(f, **arrays)
+    blob = json.dumps(manifest, indent=2, sort_keys=True)
+    with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as f:
+        f.write(blob + "\n")
+    return path
+
+
+def read_manifest(path: str) -> dict:
+    """Parse a bundle's manifest (without loading any arrays)."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (FileNotFoundError, NotADirectoryError):
+        raise BundleError(f"{path}: no {MANIFEST_NAME}; not a bundle") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BundleError(f"{path}: corrupt manifest: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise BundleError(f"{path}: manifest must be a JSON object")
+    return manifest
+
+
+def load_index(path: str) -> "ANNIndex":
+    """Load a bundle directory (or a legacy single-file pickle).
+
+    Directories go through the manifest/npz protocol with
+    :class:`BundleError` on any inconsistency.  A plain file is treated
+    as a pre-bundle pickle for backward compatibility (``TypeError`` if
+    it does not contain an index, matching the historical behaviour).
+    """
+    from repro.base import ANNIndex
+
+    if os.path.isfile(path):  # legacy single-file pickle
+        with open(path, "rb") as f:
+            index = pickle.load(f)
+        if not isinstance(index, ANNIndex):
+            raise TypeError(f"{path} does not contain an ANNIndex")
+        return index
+    if not os.path.isdir(path):
+        raise BundleError(f"{path}: no such bundle")
+    manifest = read_manifest(path)
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    try:
+        with open(arrays_path, "rb") as f:
+            buffer = io.BytesIO(f.read())
+    except FileNotFoundError:
+        raise BundleError(f"{path}: missing {ARRAYS_NAME}") from None
+    try:
+        with np.load(buffer, allow_pickle=False) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+    except (ValueError, OSError) as exc:
+        raise BundleError(f"{path}: corrupt {ARRAYS_NAME}: {exc}") from None
+    return import_index(manifest, arrays, source=path)

@@ -1,0 +1,91 @@
+"""Registry of servable index classes.
+
+The persistence layer stores a *registry name* (the class name) in every
+bundle manifest instead of a pickled class reference, so bundles stay
+readable across refactors and loading never imports arbitrary code.  The
+registry is populated lazily from the library's own index modules; any
+external :class:`~repro.base.ANNIndex` subclass can join via
+:func:`register_index` and then round-trips through the same
+``save``/``load`` machinery (with the pickle fallback unless it
+implements the native export hooks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.base import ANNIndex
+
+__all__ = [
+    "index_registry",
+    "register_index",
+    "registry_name",
+    "resolve_index_class",
+]
+
+_REGISTRY: Dict[str, Type[ANNIndex]] = {}
+_POPULATED = False
+
+
+def _populate() -> None:
+    """Import the library's index modules and register every index."""
+    global _POPULATED
+    if _POPULATED:
+        return
+    _POPULATED = True
+    import repro.baselines as baselines
+    import repro.core as core
+    from repro.serve.sharding import ShardedIndex
+
+    for module in (core, baselines):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type) and issubclass(obj, ANNIndex):
+                _REGISTRY.setdefault(obj.__name__, obj)
+    _REGISTRY.setdefault(ShardedIndex.__name__, ShardedIndex)
+
+
+def register_index(cls: Type[ANNIndex], name: Optional[str] = None) -> Type[ANNIndex]:
+    """Register ``cls`` (usable as a decorator); returns ``cls``.
+
+    Args:
+        cls: the :class:`ANNIndex` subclass to make loadable.
+        name: registry name; defaults to ``cls.__name__``.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, ANNIndex)):
+        raise TypeError(f"{cls!r} is not an ANNIndex subclass")
+    _populate()
+    _REGISTRY[name or cls.__name__] = cls
+    return cls
+
+
+def registry_name(cls: Type[ANNIndex]) -> str:
+    """The name recorded in bundle manifests for ``cls``."""
+    _populate()
+    for name, registered in _REGISTRY.items():
+        if registered is cls:
+            return name
+    return cls.__name__
+
+
+def resolve_index_class(name: str) -> Type[ANNIndex]:
+    """Look up a registry name; raises ``KeyError`` with choices if unknown."""
+    _populate()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown index class {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def index_registry() -> Dict[str, Type[ANNIndex]]:
+    """A copy of the current name -> class mapping."""
+    _populate()
+    return dict(_REGISTRY)
+
+
+def index_names() -> List[str]:
+    """Sorted registry names (convenience for CLIs and tests)."""
+    _populate()
+    return sorted(_REGISTRY)

@@ -1,0 +1,439 @@
+"""Sharded index serving: partition, build in parallel, fan out, merge.
+
+``ShardedIndex`` splits the dataset into ``S`` contiguous shards, builds
+one inner index per shard (in a process pool by default, with thread and
+serial fallbacks), fans every ``query``/``batch_query`` out to the
+shards, and merges the per-shard top-k into global ids.
+
+**Merge tie-order contract.**  Every index in this library ranks results
+by ``np.lexsort((ids, dists))`` — ascending true distance, ties broken
+by ascending id (PR 1's canonical order).  The shard merge applies the
+*same* lexsort to the concatenated per-shard candidate pool after
+mapping local ids to global ids, and local id order is monotone in
+global id order within a shard (contiguous partitioning; inserts append
+in global order).  Together with row-wise bit-identical distance
+kernels, this makes a sharded exact (or candidate-saturated) query
+byte-identical to the unsharded one — the invariant
+``tests/test_sharded_equivalence.py`` pins down.
+
+**Dynamic workloads.**  When the shard indexes support ``insert`` /
+``delete`` (e.g. :class:`~repro.core.dynamic.DynamicLCCSLSH`), the
+sharded index routes inserts round-robin and deletes by handle lookup,
+preserving the unsharded handle sequence: the i-th insert returns handle
+``n + i`` exactly like a single ``DynamicLCCSLSH`` would.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.base import ANNIndex
+
+__all__ = ["IndexSpec", "ShardedIndex", "merge_topk"]
+
+
+def merge_topk(
+    ids_per_shard: Sequence[np.ndarray],
+    dists_per_shard: Sequence[np.ndarray],
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(ids, dists)`` lists into one global top-``k``.
+
+    Ids must already be global and unique across shards.  The result is
+    ordered by ``np.lexsort((ids, dists))`` — ascending distance, ties by
+    ascending id — i.e. exactly the order a single index's ``_verify``
+    would produce over the concatenated candidate pool.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if len(ids_per_shard) != len(dists_per_shard):
+        raise ValueError("ids and dists lists must align")
+    if not ids_per_shard:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    ids = np.concatenate(
+        [np.asarray(i, dtype=np.int64).ravel() for i in ids_per_shard]
+    )
+    dists = np.concatenate(
+        [np.asarray(d, dtype=np.float64).ravel() for d in dists_per_shard]
+    )
+    if len(ids) != len(dists):
+        raise ValueError("each shard's ids and dists must have equal length")
+    order = np.lexsort((ids, dists))[: min(k, len(ids))]
+    return ids[order], dists[order]
+
+
+class IndexSpec:
+    """A picklable recipe for constructing an unfitted index.
+
+    Process-pool shard builds ship the *recipe* to workers rather than a
+    closure, and bundle manifests record it as JSON, so shard indexes can
+    be rebuilt anywhere.  The class may be given directly or as a
+    registry name (see :mod:`repro.serve.registry`).
+
+    Example:
+        >>> spec = IndexSpec("LCCSLSH", dim=32, m=64, seed=0)
+        >>> index = spec.build()
+    """
+
+    def __init__(self, index_cls: Union[str, type], **kwargs):
+        from repro.serve.registry import registry_name, resolve_index_class
+
+        if isinstance(index_cls, str):
+            index_cls = resolve_index_class(index_cls)
+        if not (isinstance(index_cls, type) and issubclass(index_cls, ANNIndex)):
+            raise TypeError(f"{index_cls!r} is not an ANNIndex subclass")
+        self.class_name = registry_name(index_cls)
+        self.kwargs = dict(kwargs)
+
+    def build(self) -> ANNIndex:
+        """Construct a fresh, unfitted index from the recipe."""
+        from repro.serve.registry import resolve_index_class
+
+        return resolve_index_class(self.class_name)(**self.kwargs)
+
+    def to_manifest(self) -> dict:
+        return {"class": self.class_name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "IndexSpec":
+        return cls(manifest["class"], **manifest["kwargs"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs.items())
+        return f"IndexSpec({self.class_name}{', ' if args else ''}{args})"
+
+
+def _build_one_shard(spec: IndexSpec, chunk: np.ndarray) -> ANNIndex:
+    """Worker function for parallel shard builds (must be module-level
+    so process pools can pickle it)."""
+    return spec.build().fit(chunk)
+
+
+class ShardedIndex(ANNIndex):
+    """Partition data across ``num_shards`` inner indexes built from one spec.
+
+    Args:
+        spec: :class:`IndexSpec` describing the per-shard index.
+        num_shards: number of shards ``S``; ``fit`` splits the rows into
+            ``S`` contiguous blocks (``np.array_split`` boundaries), so
+            global id = shard offset + local id.
+        parallel: ``"process"`` (default; falls back automatically when a
+            pool cannot be used), ``"thread"``, or ``"serial"`` — how
+            shard builds and query fan-out run.
+        max_workers: worker cap for the pools (default
+            ``min(num_shards, cpu_count)``).
+
+    Query-time kwargs (``num_candidates``, ``n_probes``) are forwarded
+    verbatim to every shard; each shard clamps them to its own size, so
+    passing ``num_candidates >= n`` makes every shard — and therefore the
+    merged result — exact.
+    """
+
+    name = "Sharded"
+
+    def __init__(
+        self,
+        spec: IndexSpec,
+        num_shards: int,
+        parallel: str = "process",
+        max_workers: Optional[int] = None,
+    ):
+        if not isinstance(spec, IndexSpec):
+            raise TypeError("spec must be an IndexSpec")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if parallel not in ("process", "thread", "serial"):
+            raise ValueError("parallel must be 'process', 'thread' or 'serial'")
+        template = spec.build()  # validates the recipe, donates metadata
+        super().__init__(template.dim, template.metric, template.seed)
+        self.spec = spec
+        self.num_shards = int(num_shards)
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.name = f"Sharded[{template.name}]x{num_shards}"
+        self.shards: List[ANNIndex] = []
+        #: shard start offsets in the original row numbering
+        self._offsets = np.zeros(self.num_shards, dtype=np.int64)
+        #: per shard: local id -> global id (monotone increasing); the
+        #: arrays over-allocate by doubling so inserts are amortised O(1)
+        #: (only the first ``_global_sizes[s]`` entries are meaningful)
+        self._global_ids: List[np.ndarray] = []
+        self._global_sizes: List[int] = []
+        #: global handle -> (shard, local handle) for post-fit inserts
+        self._inserted_loc: Dict[int, Tuple[int, int]] = {}
+        self._next_handle = 0
+        self._next_shard = 0
+        #: how the last build actually ran ("process"/"thread"/"serial")
+        self.build_mode: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def _workers(self) -> int:
+        cores = os.cpu_count() or 1
+        cap = self.max_workers if self.max_workers else min(self.num_shards, cores)
+        return max(1, cap)
+
+    def _fit(self, data: np.ndarray) -> None:
+        chunks = np.array_split(data, self.num_shards)
+        sizes = np.array([len(c) for c in chunks], dtype=np.int64)
+        if np.any(sizes == 0):
+            raise ValueError(
+                f"cannot split {len(data)} rows into {self.num_shards} "
+                "non-empty shards; lower num_shards"
+            )
+        self._offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self.shards = self._build_shards(chunks)
+        self._global_ids = [
+            np.arange(off, off + size, dtype=np.int64)
+            for off, size in zip(self._offsets, sizes)
+        ]
+        self._global_sizes = [int(size) for size in sizes]
+        self._inserted_loc = {}
+        self._next_handle = int(len(data))
+        self._next_shard = 0
+
+    def _build_shards(self, chunks: List[np.ndarray]) -> List[ANNIndex]:
+        # Only *pool infrastructure* failures (unpicklable payloads,
+        # sandboxed fork, broken/unavailable pools) trigger a degraded
+        # retry; a genuine error raised inside a shard's fit propagates
+        # with its original type instead of re-running the whole build.
+        import pickle as _pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        mode = self.parallel if len(chunks) > 1 else "serial"
+        if mode == "process":
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=self._workers()) as pool:
+                    shards = list(
+                        pool.map(_build_one_shard, [self.spec] * len(chunks), chunks)
+                    )
+                self.build_mode = "process"
+                return shards
+            except (BrokenProcessPool, _pickle.PicklingError, OSError, ImportError):
+                mode = "thread"
+        if mode == "thread":
+            try:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(max_workers=self._workers()) as pool:
+                    shards = list(
+                        pool.map(_build_one_shard, [self.spec] * len(chunks), chunks)
+                    )
+                self.build_mode = "thread"
+                return shards
+            except RuntimeError:  # e.g. "can't start new thread"
+                mode = "serial"
+        self.build_mode = "serial"
+        return [_build_one_shard(self.spec, chunk) for chunk in chunks]
+
+    # ------------------------------------------------------------------
+    # Queries: fan out, map to global ids, merge
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return sum(shard.n for shard in self.shards) if self.shards else 0
+
+    @property
+    def is_fitted(self) -> bool:
+        # Shards own the rows; no concatenated copy is kept (``_data``
+        # holds the caller's array after ``fit`` but is absent after a
+        # bundle load, where duplicating every shard would double RSS).
+        return bool(self.shards)
+
+    def _accumulate_shard_stats(self) -> None:
+        for shard in self.shards:
+            for key, val in shard.last_stats.items():
+                self.last_stats[key] = self.last_stats.get(key, 0.0) + float(val)
+        self.last_stats["shards"] = float(self.num_shards)
+
+    def _query(self, q: np.ndarray, k: int, **kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        per_ids: List[np.ndarray] = []
+        per_dists: List[np.ndarray] = []
+        for s, shard in enumerate(self.shards):
+            ids, dists = shard.query(q, k=k, **kwargs)
+            per_ids.append(self._global_ids[s][ids])
+            per_dists.append(dists)
+        self._accumulate_shard_stats()
+        return merge_topk(per_ids, per_dists, k)
+
+    def _batch_query(
+        self, queries: np.ndarray, k: int, **kwargs
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Fan the whole batch out shard by shard, merge per query.
+
+        Each shard answers through its own vectorised ``batch_query``
+        engine; with ``parallel != 'serial'`` the shard calls run on a
+        thread pool (numpy kernels release the GIL for large batches).
+        """
+
+        def run(args: Tuple[int, ANNIndex]) -> Tuple[np.ndarray, np.ndarray]:
+            _, shard = args
+            return shard.batch_query(queries, k=k, **kwargs)
+
+        jobs = list(enumerate(self.shards))
+        if self.parallel != "serial" and len(jobs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self._workers()) as pool:
+                shard_results = list(pool.map(run, jobs))
+        else:
+            shard_results = [run(job) for job in jobs]
+        self._accumulate_shard_stats()
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for qi in range(len(queries)):
+            per_ids: List[np.ndarray] = []
+            per_dists: List[np.ndarray] = []
+            for s, (ids_mat, dists_mat) in enumerate(shard_results):
+                valid = ids_mat[qi] >= 0  # strip per-shard padding
+                per_ids.append(self._global_ids[s][ids_mat[qi][valid]])
+                per_dists.append(dists_mat[qi][valid])
+            out.append(merge_topk(per_ids, per_dists, k))
+        return out
+
+    # ------------------------------------------------------------------
+    # Dynamic routing (shards must support insert/delete themselves)
+    # ------------------------------------------------------------------
+
+    def _require_dynamic(self) -> None:
+        if not self.shards:
+            raise RuntimeError("fit the index before inserting/deleting")
+        for shard in self.shards:
+            if not (hasattr(shard, "insert") and hasattr(shard, "delete")):
+                raise TypeError(
+                    f"shard index {type(shard).__name__} does not support "
+                    "insert/delete; use a dynamic spec (e.g. DynamicLCCSLSH)"
+                )
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one vector into the next shard (round-robin).
+
+        Returns a global handle following the same sequence an unsharded
+        dynamic index would produce (``n``, ``n+1``, ...).
+        """
+        self._require_dynamic()
+        s = self._next_shard
+        self._next_shard = (s + 1) % self.num_shards
+        local = self.shards[s].insert(vector)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._append_global(s, handle)
+        self._inserted_loc[handle] = (s, int(local))
+        return handle
+
+    def _append_global(self, s: int, handle: int) -> None:
+        """Amortised O(1) append to the shard's local->global map."""
+        size = self._global_sizes[s]
+        arr = self._global_ids[s]
+        if size == len(arr):
+            grown = np.empty(max(4, 2 * len(arr)), dtype=np.int64)
+            grown[:size] = arr[:size]
+            self._global_ids[s] = arr = grown
+        arr[size] = handle
+        self._global_sizes[s] = size + 1
+
+    def delete(self, handle: int) -> None:
+        """Delete by global handle; raises ``KeyError`` if unknown/dead."""
+        self._require_dynamic()
+        shard, local = self._locate(int(handle))
+        self.shards[shard].delete(local)
+
+    def _locate(self, handle: int) -> Tuple[int, int]:
+        if handle in self._inserted_loc:
+            return self._inserted_loc[handle]
+        # Handles from the initial fit resolve arithmetically: shard by
+        # offset bisection, local id by offset subtraction.
+        if 0 <= handle < self._next_handle:
+            s = int(np.searchsorted(self._offsets, handle, side="right") - 1)
+            local = handle - int(self._offsets[s])
+            # Guard against handles past the initial block of shard s
+            # that were not inserts (i.e. beyond the fitted rows).
+            if local < self._global_sizes[s] and int(
+                self._global_ids[s][local]
+            ) == handle:
+                return s, local
+        raise KeyError(f"unknown handle {handle}")
+
+    # ------------------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        return sum(shard.index_size_bytes() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Native persistence: spec + bookkeeping + one nested payload per
+    # shard under a ``shard<i>.`` array prefix.
+    # ------------------------------------------------------------------
+
+    def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        from repro.serve.persistence import export_index, json_safe, pack_nested
+
+        spec_manifest = self.spec.to_manifest()
+        if not json_safe(spec_manifest):
+            raise NotImplementedError(
+                "ShardedIndex spec kwargs are not JSON-safe"
+            )
+        state: dict = {
+            "spec": spec_manifest,
+            "num_shards": self.num_shards,
+            "parallel": self.parallel,
+            "max_workers": self.max_workers,
+            "next_handle": self._next_handle,
+            "next_shard": self._next_shard,
+            "inserted_loc": {
+                str(h): [s, l] for h, (s, l) in self._inserted_loc.items()
+            },
+            "shards": [],
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if self.shards:
+            arrays["offsets"] = self._offsets
+            for i, shard in enumerate(self.shards):
+                manifest, shard_arrays = export_index(shard)
+                state["shards"].append(manifest)
+                arrays.update(pack_nested(shard_arrays, f"shard{i}"))
+                arrays[f"global_ids{i}"] = self._global_ids[i][
+                    : self._global_sizes[i]
+                ]
+        return state, arrays
+
+    @classmethod
+    def _import_state(
+        cls, manifest: dict, arrays: Dict[str, np.ndarray]
+    ) -> "ShardedIndex":
+        from repro.serve.persistence import import_index, unpack_nested
+
+        state = manifest["state"]
+        index = cls(
+            IndexSpec.from_manifest(state["spec"]),
+            num_shards=int(state["num_shards"]),
+            parallel=state["parallel"],
+            max_workers=state["max_workers"],
+        )
+        shard_manifests = state["shards"]
+        if shard_manifests:
+            index.shards = [
+                import_index(
+                    m, unpack_nested(arrays, f"shard{i}"), source=f"<shard {i}>"
+                )
+                for i, m in enumerate(shard_manifests)
+            ]
+            index._offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+            index._global_ids = [
+                np.asarray(arrays[f"global_ids{i}"], dtype=np.int64)
+                for i in range(len(shard_manifests))
+            ]
+            index._global_sizes = [len(g) for g in index._global_ids]
+        index._next_handle = int(state["next_handle"])
+        index._next_shard = int(state["next_shard"])
+        index._inserted_loc = {
+            int(h): (int(s), int(l))
+            for h, (s, l) in state["inserted_loc"].items()
+        }
+        return index

@@ -1,0 +1,97 @@
+"""Property test: the shard top-k merge equals a global argsort.
+
+For random shard counts, shard sizes, tie-heavy distances and k, taking
+each shard's top-k under the canonical ``(distance, id)`` order and
+merging with :func:`repro.serve.merge_topk` must equal ``np.argsort``
+(stable, id-then-distance) applied to the concatenated candidate pool.
+This is the exactness argument behind the sharded/unsharded equivalence:
+per-shard top-k is a sufficient statistic for global top-k.
+
+Uses hypothesis when available (it is a test dependency), with a seeded
+fuzz loop as a fallback so the property still runs without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import merge_topk
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    HAVE_HYPOTHESIS = False
+
+
+def _global_topk_reference(ids, dists, k):
+    """Top-k via np.argsort on the concatenated pool: two stable passes
+    give (distance asc, id asc) — independent of lexsort."""
+    by_id = np.argsort(ids, kind="stable")
+    order = by_id[np.argsort(dists[by_id], kind="stable")][: min(k, len(ids))]
+    return ids[order], dists[order]
+
+
+def _check_once(seed: int, num_shards: int, k: int) -> None:
+    rng = np.random.default_rng(seed)
+    total = int(rng.integers(1, 120))
+    ids = rng.permutation(10_000)[:total].astype(np.int64)
+    # Draw from a tiny value set so distance ties (the hard case for the
+    # tie-order contract) occur constantly.
+    dists = rng.choice([0.0, 0.25, 0.5, 1.0, 2.0], size=total)
+    # Random ragged partition of the pool into shards (some may be empty).
+    owner = rng.integers(0, num_shards, size=total)
+    per_ids, per_dists = [], []
+    for s in range(num_shards):
+        mask = owner == s
+        top = _global_topk_reference(ids[mask], dists[mask], k)
+        per_ids.append(top[0])
+        per_dists.append(top[1])
+    got_ids, got_dists = merge_topk(per_ids, per_dists, k)
+    want_ids, want_dists = _global_topk_reference(ids, dists, k)
+    assert got_ids.tolist() == want_ids.tolist()
+    assert got_dists.tolist() == want_dists.tolist()
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        num_shards=st.integers(min_value=1, max_value=12),
+        k=st.integers(min_value=1, max_value=25),
+    )
+    def test_merge_equals_global_argsort(seed, num_shards, k):
+        _check_once(seed, num_shards, k)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    def test_merge_equals_global_argsort():
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            _check_once(
+                int(rng.integers(2**32)),
+                int(rng.integers(1, 13)),
+                int(rng.integers(1, 26)),
+            )
+
+
+def test_merge_empty_inputs():
+    ids, dists = merge_topk([], [], 5)
+    assert len(ids) == 0 and len(dists) == 0
+    ids, dists = merge_topk(
+        [np.empty(0, dtype=np.int64)] * 3, [np.empty(0)] * 3, 5
+    )
+    assert len(ids) == 0 and len(dists) == 0
+
+
+def test_merge_validates_arguments():
+    with pytest.raises(ValueError, match="k must be positive"):
+        merge_topk([np.array([1])], [np.array([0.5])], 0)
+    with pytest.raises(ValueError, match="align"):
+        merge_topk([np.array([1])], [], 5)
+    with pytest.raises(ValueError, match="equal length"):
+        merge_topk([np.array([1, 2])], [np.array([0.5])], 5)

@@ -1,0 +1,233 @@
+"""Sharded-vs-unsharded equivalence: the contract every refactor keeps.
+
+A ``ShardedIndex`` must return **byte-identical** ``(ids, distances)``
+to the index it wraps whenever the per-shard queries are exact — which
+the suite arranges by saturating ``num_candidates`` (every point becomes
+a candidate, so both sides reduce to verified exact top-k under the
+canonical ``(distance, id)`` tie-order).  Covered: S in {1, 2, 7},
+single and batch query paths, k larger than any shard, duplicate rows
+spread across shards, dynamic insert/delete routing, persistence of a
+sharded index, and parallel (process-pool) builds matching serial ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicLCCSLSH, LCCSLSH
+from repro.baselines import LinearScan
+from repro.serve import IndexSpec, ShardedIndex, load_index, save_index
+
+DIM = 16
+SHARD_COUNTS = (1, 2, 7)
+
+SPECS = {
+    "scan": IndexSpec("LinearScan", dim=DIM, seed=0),
+    "lccs": IndexSpec("LCCSLSH", dim=DIM, m=16, w=2.0, seed=5),
+    "mp-lccs": IndexSpec("MPLCCSLSH", dim=DIM, m=16, w=2.0, seed=5, n_probes=9),
+    "dynamic": IndexSpec("DynamicLCCSLSH", dim=DIM, m=16, w=2.0, seed=5),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    data = rng.normal(size=(260, DIM))
+    queries = rng.normal(size=(9, DIM))
+    return data, queries
+
+
+def _saturated(spec_name: str, n: int) -> dict:
+    """Query kwargs that make every point a candidate (exact search)."""
+    return {} if spec_name == "scan" else {"num_candidates": n}
+
+
+def _assert_identical(a, b):
+    a_ids, a_dists = a
+    b_ids, b_dists = b
+    assert a_ids.tolist() == b_ids.tolist()
+    # tolist() compares exact float values: byte-identical, not approx
+    assert a_dists.tolist() == b_dists.tolist()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("spec_name", ["scan", "lccs", "mp-lccs"])
+def test_single_query_equivalence(spec_name, num_shards, workload):
+    data, queries = workload
+    spec = SPECS[spec_name]
+    base = spec.build().fit(data)
+    sharded = ShardedIndex(spec, num_shards=num_shards, parallel="serial").fit(data)
+    kwargs = _saturated(spec_name, len(data))
+    for q in queries:
+        _assert_identical(
+            base.query(q, k=10, **kwargs), sharded.query(q, k=10, **kwargs)
+        )
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("spec_name", ["scan", "lccs", "mp-lccs"])
+def test_batch_query_equivalence(spec_name, num_shards, workload):
+    data, queries = workload
+    spec = SPECS[spec_name]
+    base = spec.build().fit(data)
+    sharded = ShardedIndex(spec, num_shards=num_shards, parallel="serial").fit(data)
+    kwargs = _saturated(spec_name, len(data))
+    want_ids, want_dists = base.batch_query(queries, k=10, **kwargs)
+    got_ids, got_dists = sharded.batch_query(queries, k=10, **kwargs)
+    assert np.array_equal(want_ids, got_ids)
+    assert want_dists.tolist() == got_dists.tolist()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_batch_matches_single_on_sharded(num_shards, workload):
+    """The sharded index honours PR 1's batch == single contract itself."""
+    data, queries = workload
+    sharded = ShardedIndex(
+        SPECS["lccs"], num_shards=num_shards, parallel="serial"
+    ).fit(data)
+    ids_mat, dists_mat = sharded.batch_query(
+        queries, k=10, num_candidates=len(data)
+    )
+    for i, q in enumerate(queries):
+        ids, dists = sharded.query(q, k=10, num_candidates=len(data))
+        valid = ids_mat[i] >= 0
+        assert ids_mat[i][valid].tolist() == ids.tolist()
+        assert dists_mat[i][valid].tolist() == dists.tolist()
+
+
+def test_k_exceeds_shard_size(workload):
+    """k > n-per-shard: shards return what they have; the merge fills k."""
+    data, queries = workload
+    small = data[:30]
+    spec = SPECS["lccs"]
+    base = spec.build().fit(small)
+    sharded = ShardedIndex(spec, num_shards=7, parallel="serial").fit(small)
+    for q in queries:
+        _assert_identical(
+            base.query(q, k=12, num_candidates=30),
+            sharded.query(q, k=12, num_candidates=30),
+        )
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_duplicate_rows_across_shards(num_shards, workload):
+    """Exact duplicates land in different shards; ties resolve by id."""
+    data, queries = workload
+    tiled = np.concatenate([data[:40]] * 4)  # every row appears 4 times
+    spec = SPECS["scan"]
+    base = spec.build().fit(tiled)
+    sharded = ShardedIndex(spec, num_shards=num_shards, parallel="serial").fit(tiled)
+    for q in queries:
+        _assert_identical(base.query(q, k=9), sharded.query(q, k=9))
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_dynamic_insert_delete_equivalence(num_shards, workload):
+    """The dynamic workload shards too: same handles, same answers."""
+    data, queries = workload
+    rng = np.random.default_rng(7)
+    spec = SPECS["dynamic"]
+    base = spec.build().fit(data)
+    sharded = ShardedIndex(spec, num_shards=num_shards, parallel="serial").fit(data)
+    for v in rng.normal(size=(20, DIM)):
+        assert base.insert(v) == sharded.insert(v)
+    for handle in (3, 100, 259, 263, 270):
+        base.delete(handle)
+        sharded.delete(handle)
+    lam = base.n
+    for q in queries:
+        _assert_identical(
+            base.query(q, k=12, num_candidates=lam),
+            sharded.query(q, k=12, num_candidates=lam),
+        )
+    want = base.batch_query(queries, k=12, num_candidates=lam)
+    got = sharded.batch_query(queries, k=12, num_candidates=lam)
+    assert np.array_equal(want[0], got[0])
+    assert want[1].tolist() == got[1].tolist()
+
+
+def test_dynamic_handle_errors(workload):
+    data, _ = workload
+    sharded = ShardedIndex(SPECS["dynamic"], num_shards=3, parallel="serial").fit(data)
+    with pytest.raises(KeyError):
+        sharded.delete(len(data) + 50)  # never issued
+    sharded.delete(5)
+    with pytest.raises(KeyError):
+        sharded.delete(5)  # already dead
+
+
+def test_static_spec_rejects_updates(workload):
+    data, _ = workload
+    sharded = ShardedIndex(SPECS["scan"], num_shards=2, parallel="serial").fit(data)
+    with pytest.raises(TypeError, match="insert/delete"):
+        sharded.insert(np.zeros(DIM))
+
+
+def test_sharded_roundtrip_equivalence(tmp_path, workload):
+    """Persistence composes with sharding: save/load keeps answers."""
+    data, queries = workload
+    sharded = ShardedIndex(SPECS["lccs"], num_shards=4, parallel="serial").fit(data)
+    path = str(tmp_path / "bundle")
+    save_index(sharded, path)
+    loaded = load_index(path)
+    assert loaded.num_shards == 4
+    assert loaded.n == sharded.n
+    for q in queries[:3]:
+        _assert_identical(
+            sharded.query(q, k=10, num_candidates=len(data)),
+            loaded.query(q, k=10, num_candidates=len(data)),
+        )
+
+
+def test_shard_stats_aggregate(workload):
+    data, queries = workload
+    sharded = ShardedIndex(SPECS["lccs"], num_shards=3, parallel="serial").fit(data)
+    sharded.query(queries[0], k=5, num_candidates=50)
+    assert sharded.last_stats["shards"] == 3.0
+    assert sharded.last_stats["candidates"] > 0
+
+
+def test_invalid_construction(workload):
+    data, _ = workload
+    with pytest.raises(ValueError, match="num_shards"):
+        ShardedIndex(SPECS["scan"], num_shards=0)
+    with pytest.raises(ValueError, match="parallel"):
+        ShardedIndex(SPECS["scan"], num_shards=2, parallel="gpu")
+    with pytest.raises(TypeError, match="IndexSpec"):
+        ShardedIndex(LinearScan(dim=DIM), num_shards=2)
+    with pytest.raises(ValueError, match="non-empty"):
+        ShardedIndex(SPECS["scan"], num_shards=64, parallel="serial").fit(data[:8])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("parallel", ["process", "thread"])
+def test_parallel_build_matches_serial(parallel, workload):
+    """Multiprocess/threaded shard builds produce identical indexes."""
+    data, queries = workload
+    spec = SPECS["lccs"]
+    serial = ShardedIndex(spec, num_shards=4, parallel="serial").fit(data)
+    other = ShardedIndex(spec, num_shards=4, parallel=parallel).fit(data)
+    assert other.build_mode in (parallel, "thread", "serial")  # graceful fallback
+    for q in queries:
+        _assert_identical(
+            serial.query(q, k=10, num_candidates=len(data)),
+            other.query(q, k=10, num_candidates=len(data)),
+        )
+
+
+@pytest.mark.slow
+def test_process_built_dynamic_still_routable(workload):
+    """A process-pool-built dynamic sharded index accepts updates in-parent."""
+    data, queries = workload
+    rng = np.random.default_rng(11)
+    sharded = ShardedIndex(SPECS["dynamic"], num_shards=3, parallel="process").fit(data)
+    base = SPECS["dynamic"].build().fit(data)
+    for v in rng.normal(size=(6, DIM)):
+        assert base.insert(v) == sharded.insert(v)
+    base.delete(2)
+    sharded.delete(2)
+    _assert_identical(
+        base.query(queries[0], k=8, num_candidates=base.n),
+        sharded.query(queries[0], k=8, num_candidates=base.n),
+    )
