@@ -27,11 +27,14 @@ from repro.hashes import (
     make_family,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.serve import (  # noqa: E402  (needs __version__ for manifests)
+    ANNService,
     BundleError,
+    ConcurrentIndex,
     IndexSpec,
+    QueryCache,
     ShardedIndex,
     load_index,
     save_index,
@@ -39,9 +42,12 @@ from repro.serve import (  # noqa: E402  (needs __version__ for manifests)
 
 __all__ = [
     "ANNIndex",
+    "ANNService",
     "BitSamplingFamily",
     "BundleError",
+    "ConcurrentIndex",
     "IndexSpec",
+    "QueryCache",
     "ShardedIndex",
     "load_index",
     "save_index",

@@ -7,6 +7,13 @@ owns input validation, candidate verification against the raw vectors,
 wall-clock accounting, and machine-independent work counters (candidates
 verified, hash evaluations) that the benchmark harness reports alongside
 times.
+
+**Thread safety:** indexes are single-threaded objects — ``query``
+mutates ``last_stats`` and dynamic indexes rewrite internal structures.
+To share one across threads, wrap it via :meth:`ANNIndex.concurrent`
+(many parallel readers, exclusive writers, no writer starvation) or
+serve it through :class:`repro.serve.ANNService` (adds a version-keyed
+query cache and micro-batching on top of the locks).
 """
 
 from __future__ import annotations
@@ -159,6 +166,20 @@ class ANNIndex(abc.ABC):
 
         return load_index(path)
 
+    def concurrent(self) -> "repro.serve.concurrency.ConcurrentIndex":
+        """Wrap this index in a thread-safe reader-writer facade.
+
+        The returned :class:`~repro.serve.concurrency.ConcurrentIndex`
+        runs ``query``/``batch_query`` under a shared lock (parallel
+        readers) and ``insert``/``delete``/``fit`` under an exclusive
+        lock with writer preference, and versions every write.  Use the
+        wrapper exclusively afterwards — touching this index directly
+        from another thread bypasses the locks.
+        """
+        from repro.serve.concurrency import ConcurrentIndex
+
+        return ConcurrentIndex(self)
+
     # ------------------------------------------------------------------
     # Hooks and helpers for subclasses
     # ------------------------------------------------------------------
@@ -199,6 +220,22 @@ class ANNIndex(abc.ABC):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Answer one validated query."""
 
+    @staticmethod
+    def _stats_items(stats: Dict[str, float]) -> List[Tuple[str, float]]:
+        """Best-effort snapshot of a possibly-racing ``last_stats`` dict.
+
+        ``last_stats`` is per-query scratch and inherently racy under
+        parallel readers (e.g. behind
+        :class:`~repro.serve.concurrency.ConcurrentIndex`); a concurrent
+        reset mid-iteration must degrade the *counters*, never fail the
+        query.  Exact aggregate counters for concurrent serving live in
+        ``ConcurrentIndex.stats()``.
+        """
+        try:
+            return list(stats.items())
+        except RuntimeError:  # dict mutated by a parallel reader
+            return []
+
     def _batch_query(
         self, queries: np.ndarray, k: int, **kwargs
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
@@ -218,7 +255,7 @@ class ANNIndex(abc.ABC):
             # (counters are batch totals) holds for every index.
             self.last_stats = {}
             out.append(self._query(np.asarray(q), k, **kwargs))
-            for key, val in self.last_stats.items():
+            for key, val in self._stats_items(self.last_stats):
                 acc[key] = acc.get(key, 0.0) + float(val)
         self.last_stats = acc
         return out

@@ -8,6 +8,9 @@ Subcommands:
 * ``build`` — fit an index (optionally sharded) and save it as a
   reusable bundle directory.
 * ``query`` — load a saved bundle and evaluate it on a query workload.
+* ``serve`` — load a bundle behind :class:`repro.serve.ANNService` and
+  answer JSON-lines requests from stdin (queries, inserts, deletes,
+  stats) with ``--threads`` concurrent clients and a result cache.
 * ``theory`` — collision probabilities and Theorem 5.1's lambda for a
   parameter setting.
 
@@ -19,6 +22,8 @@ Examples::
     python -m repro.cli build --dataset sift --n 20000 --method lccs \\
         --shards 4 --out sift.bundle
     python -m repro.cli query sift.bundle --queries 100 --k 10 --batch
+    echo '{"query": [0.1, ...], "k": 5}' | \\
+        python -m repro.cli serve sift.bundle --threads 4 --cache-size 1024
     python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
 """
 
@@ -306,6 +311,145 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Answer JSON-lines requests from stdin through an ANNService.
+
+    Request protocol (one JSON object per line; responses come back in
+    request order, one JSON object per line):
+
+    * ``{"query": [..], "k": 10, "num_candidates": 200}`` ->
+      ``{"ids": [..], "dists": [..]}`` (``k`` defaults to ``--k``;
+      other keys are forwarded as query kwargs)
+    * ``{"insert": [..]}`` -> ``{"handle": h, "version": v}``
+    * ``{"delete": h}`` -> ``{"deleted": h, "version": v}``
+    * ``{"stats": true}`` -> ``{"stats": {..}}``
+
+    Queries are issued by ``--threads`` concurrent client workers, so
+    adjacent query requests coalesce into micro-batches inside the
+    service; a printer thread emits each answer as soon as it (and all
+    its predecessors) completes, so interactive clients are never left
+    waiting on a response that is already computed.  A write (or stats)
+    request first drains every pending query, preserving the stream's
+    serial read/write semantics.
+    """
+    import json
+    import queue
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import BundleError, load_index, read_manifest
+    from repro.serve.service import ANNService
+
+    try:
+        manifest = read_manifest(args.bundle)
+        index = load_index(args.bundle)
+    except BundleError as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    default_kwargs = dict(manifest.get("extra", {}).get("query_kwargs", {}))
+    try:
+        source = open(args.requests) if args.requests else sys.stdin
+    except OSError as exc:
+        print(f"cannot open requests file: {exc}", file=sys.stderr)
+        return 2
+    emitted = 0
+
+    def run_query(payload: dict) -> dict:
+        try:
+            q = np.asarray(payload.pop("query"), dtype=np.float64)
+            k = int(payload.pop("k", args.k))
+            kwargs = {**default_kwargs, **payload}
+            ids, dists = service.query(q, k=k, **kwargs)
+            return {"ids": ids.tolist(), "dists": dists.tolist()}
+        except Exception as exc:  # keep serving after a bad request
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    with ANNService(
+        index,
+        cache_size=args.cache_size,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch,
+    ) as service, ThreadPoolExecutor(max_workers=args.threads) as clients:
+        # Query futures flow through a bounded queue to a printer
+        # thread, which emits each answer in request order the moment
+        # it resolves — interactive clients get responses without
+        # waiting for more input, and memory stays bounded on long
+        # query-only streams.
+        out_queue: "queue.Queue" = queue.Queue(maxsize=4 * args.threads)
+        counter_lock = threading.Lock()
+
+        def count_one() -> None:
+            nonlocal emitted
+            with counter_lock:
+                emitted += 1
+
+        def printer() -> None:
+            while True:
+                fut = out_queue.get()
+                try:
+                    if fut is None:
+                        return
+                    print(json.dumps(fut.result()), flush=True)
+                    count_one()
+                finally:
+                    out_queue.task_done()
+
+        printer_thread = threading.Thread(target=printer, daemon=True)
+        printer_thread.start()
+
+        def flush() -> None:
+            out_queue.join()  # every queued answer is printed
+
+        try:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    flush()
+                    print(json.dumps({"error": f"bad request: {exc}"}),
+                          flush=True)
+                    count_one()
+                    continue
+                if "query" in request:
+                    out_queue.put(clients.submit(run_query, request))
+                    continue
+                flush()  # writes/stats see every prior query completed
+                try:
+                    if "insert" in request:
+                        vector = np.asarray(request["insert"], dtype=np.float64)
+                        handle = service.insert(vector)
+                        response = {"handle": handle,
+                                    "version": service.version}
+                    elif "delete" in request:
+                        service.delete(int(request["delete"]))
+                        response = {"deleted": int(request["delete"]),
+                                    "version": service.version}
+                    elif "stats" in request:
+                        response = {"stats": service.stats()}
+                    else:
+                        response = {
+                            "error": "unknown request (want query/insert/"
+                            "delete/stats)"
+                        }
+                except Exception as exc:
+                    response = {"error": f"{type(exc).__name__}: {exc}"}
+                print(json.dumps(response), flush=True)
+                count_one()
+            flush()
+        finally:
+            out_queue.put(None)
+            printer_thread.join()
+            if source is not sys.stdin:
+                source.close()
+    print(f"served {emitted} responses", file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import LCCSLSH
     from repro.data import compute_ground_truth, load_dataset
@@ -444,6 +588,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "serve", help="serve a bundle: JSON-lines requests on stdin"
+    )
+    p.add_argument("bundle", help="bundle directory written by `build`")
+    p.add_argument(
+        "--threads", type=int, default=4,
+        help="concurrent client workers issuing queries (adjacent "
+        "queries coalesce into micro-batches)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU query-result cache capacity (0 disables caching)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="how long a lone query waits for company before executing",
+    )
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size cap")
+    p.add_argument("--k", type=int, default=10,
+                   help="default k for requests that omit it")
+    p.add_argument(
+        "--requests", default=None,
+        help="read JSON-lines requests from this file instead of stdin",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("profile", help="per-phase query time breakdown")
     p.add_argument("--dataset", default="sift")

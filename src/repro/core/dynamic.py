@@ -14,6 +14,19 @@ updates, so this wrapper applies the standard static-to-dynamic recipe:
 This is an extension beyond the paper (which evaluates static indexes);
 it exercises the same public machinery and shows the cost model: queries
 pay ``O(|buffer| * d)`` extra until the next rebuild.
+
+**Interleaving discipline.**  All of the CSA/buffer/tombstone
+bookkeeping lives in one :class:`_DynState` object published with a
+single attribute store, and a rebuild *builds the new CSA first* and
+swaps the state last — so at no instant does the index pass through a
+state where buffered points are invisible or handle translation mixes
+epochs (the hazard ``tests/test_dynamic_hazards.py`` pins down with a
+mid-rebuild query).  Queries snapshot the state once at entry.  This
+makes single mutator / reentrant-read interleavings safe by
+construction; for genuinely concurrent readers and writers, wrap the
+index in :class:`repro.serve.ConcurrentIndex`, which serializes writes
+against reads (this class on its own is **not** thread-safe: e.g. two
+racing ``insert`` calls may assign the same handle).
 """
 
 from __future__ import annotations
@@ -29,6 +42,31 @@ from repro.distances import pairwise, pairwise_rows
 __all__ = ["DynamicLCCSLSH"]
 
 
+class _DynState:
+    """One epoch of index state: CSA + handle map + buffer + tombstones.
+
+    A rebuild replaces the whole object in a single attribute store (no
+    in-place clearing), so any reader that grabbed a reference keeps a
+    fully consistent pre-rebuild view.  Between rebuilds the only
+    mutations are ``buffer.append`` and ``dead.add`` — both atomic under
+    CPython — appended strictly after the backing row is written.
+    """
+
+    __slots__ = ("inner", "indexed_handles", "buffer", "dead")
+
+    def __init__(
+        self,
+        inner: Optional[LCCSLSH],
+        indexed_handles: np.ndarray,
+        buffer: List[int],
+        dead: set,
+    ):
+        self.inner = inner
+        self.indexed_handles = indexed_handles
+        self.buffer = buffer
+        self.dead = dead
+
+
 class DynamicLCCSLSH(ANNIndex):
     """LCCS-LSH with insert/delete support via buffering and rebuilds.
 
@@ -40,6 +78,9 @@ class DynamicLCCSLSH(ANNIndex):
     Point ids are *stable handles*: the id returned by :meth:`insert`
     (and used by :meth:`delete`) always refers to the same vector, across
     rebuilds.
+
+    Not thread-safe by itself — wrap in
+    :class:`repro.serve.ConcurrentIndex` for concurrent serving.
     """
 
     name = "Dynamic-LCCS-LSH"
@@ -58,18 +99,37 @@ class DynamicLCCSLSH(ANNIndex):
         self.rebuild_threshold = float(rebuild_threshold)
         self._lccs_kwargs = dict(lccs_kwargs)
         self._m = int(m)
-        self._inner: Optional[LCCSLSH] = None
+        #: the current epoch (CSA + bookkeeping), swapped atomically
+        self._state = _DynState(
+            None, np.empty(0, dtype=np.int64), [], set()
+        )
         # All ever-inserted rows live in ``_store[:_size]``; the store
         # grows by doubling so n inserts cost O(n) amortised copies
         # instead of the O(n^2) of per-insert vstack.
         self._store: Optional[np.ndarray] = None
         self._size = 0
-        self._indexed_handles = np.empty(0, dtype=np.int64)
-        self._buffer_handles: List[int] = []
-        self._dead: set = set()
         self.rebuilds = 0
 
     # ------------------------------------------------------------------
+    # Epoch-state accessors (kept for persistence and inspection; always
+    # read them through one `state = self._state` snapshot in hot paths)
+    # ------------------------------------------------------------------
+
+    @property
+    def _inner(self) -> Optional[LCCSLSH]:
+        return self._state.inner
+
+    @property
+    def _indexed_handles(self) -> np.ndarray:
+        return self._state.indexed_handles
+
+    @property
+    def _buffer_handles(self) -> List[int]:
+        return self._state.buffer
+
+    @property
+    def _dead(self) -> set:
+        return self._state.dead
 
     @property
     def _vectors(self) -> Optional[np.ndarray]:
@@ -81,36 +141,44 @@ class DynamicLCCSLSH(ANNIndex):
     @property
     def live_count(self) -> int:
         """Number of queryable (non-deleted) points."""
-        total = len(self._indexed_handles) + len(self._buffer_handles)
-        return total - len(self._dead)
+        state = self._state
+        total = len(state.indexed_handles) + len(state.buffer)
+        return total - len(state.dead)
 
     @property
     def buffer_size(self) -> int:
-        return len(self._buffer_handles)
+        return len(self._state.buffer)
 
     def _fit(self, data: np.ndarray) -> None:
         self._store = np.array(data, dtype=np.float64, copy=True)
         self._size = len(data)
-        self._indexed_handles = np.arange(len(data), dtype=np.int64)
-        self._buffer_handles = []
-        self._dead = set()
+        self._state = _DynState(
+            None, np.arange(len(data), dtype=np.int64), [], set()
+        )
         self._rebuild()
 
     def _rebuild(self) -> None:
-        live = [h for h in self._indexed_handles if h not in self._dead]
-        live += [h for h in self._buffer_handles if h not in self._dead]
-        self._indexed_handles = np.array(sorted(live), dtype=np.int64)
-        self._buffer_handles = []
-        self._dead = set()
-        if len(self._indexed_handles) == 0:
+        """Rebuild the CSA over the live set and swap epochs atomically.
+
+        The new inner index is fully built *before* any bookkeeping
+        changes; the old epoch object is never mutated.  A query that
+        interleaves with the (slow) CSA construction therefore still
+        sees the complete pre-rebuild state — buffer included.
+        """
+        old = self._state
+        live = [h for h in old.indexed_handles if h not in old.dead]
+        live += [h for h in old.buffer if h not in old.dead]
+        indexed_handles = np.array(sorted(live), dtype=np.int64)
+        if len(indexed_handles) == 0:
             # Everything was deleted: no CSA to build; queries fall back
             # to the (empty) buffer scan until the next insert.
-            self._inner = None
+            inner = None
         else:
-            self._inner = LCCSLSH(
+            inner = LCCSLSH(
                 dim=self.dim, m=self._m, metric=self.metric, **self._lccs_kwargs
             )
-            self._inner.fit(self._vectors[self._indexed_handles])
+            inner.fit(self._vectors[indexed_handles])
+        self._state = _DynState(inner, indexed_handles, [], set())
         self.rebuilds += 1
 
     # ------------------------------------------------------------------
@@ -119,7 +187,9 @@ class DynamicLCCSLSH(ANNIndex):
         """Add one vector; returns its stable handle.
 
         Amortised O(d): the backing store doubles when full rather than
-        reallocating per insert.
+        reallocating per insert.  The row is fully written to the store
+        before its handle is published to the buffer, so an interleaved
+        reader never sees a half-initialised point.
         """
         if self._store is None:
             raise RuntimeError("fit the index before inserting")
@@ -135,54 +205,77 @@ class DynamicLCCSLSH(ANNIndex):
         handle = self._size
         self._store[handle] = vector
         self._size += 1
-        self._buffer_handles.append(handle)
+        self._state.buffer.append(handle)  # publish after the row exists
         self._data = self._vectors  # keep the base-class view in sync
         self._maybe_rebuild()
         return handle
 
     def delete(self, handle: int) -> None:
-        """Tombstone a point by handle; raises KeyError if unknown/dead."""
+        """Tombstone a point by handle; raises KeyError if unknown/dead.
+
+        Liveness is checked against the current epoch's indexed set and
+        buffer, not just its tombstones — a rebuild drops deleted
+        handles from the index *and* clears the tombstone set, so a
+        stale handle must still raise rather than silently corrupt the
+        live count.
+        """
         if self._store is None or not 0 <= handle < self._size:
             raise KeyError(f"unknown handle {handle}")
-        if handle in self._dead:
+        state = self._state
+        if handle in state.dead:
             raise KeyError(f"handle {handle} already deleted")
-        self._dead.add(handle)
+        pos = int(np.searchsorted(state.indexed_handles, handle))
+        indexed = (
+            pos < len(state.indexed_handles)
+            and int(state.indexed_handles[pos]) == handle
+        )
+        if not indexed and handle not in state.buffer:
+            raise KeyError(f"handle {handle} already deleted")
+        state.dead.add(handle)
         self._maybe_rebuild()
 
     def _maybe_rebuild(self) -> None:
-        indexed = max(1, len(self._indexed_handles))
+        state = self._state
+        indexed = max(1, len(state.indexed_handles))
         if (
-            len(self._buffer_handles) > self.rebuild_threshold * indexed
-            or len(self._dead) > indexed // 2
+            len(state.buffer) > self.rebuild_threshold * indexed
+            or len(state.dead) > indexed // 2
         ):
             self._rebuild()
 
     # ------------------------------------------------------------------
 
+    def _merge_inner_stats(self, inner: LCCSLSH) -> None:
+        """Copy the inner index's work counters into ``last_stats``
+        (best-effort under parallel readers, see ``_stats_items``)."""
+        self.last_stats.update(self._stats_items(inner.last_stats))
+
     def _query(
         self, q: np.ndarray, k: int, num_candidates: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
+        state = self._state  # one snapshot: CSA, handles, buffer, dead
         pairs = []
-        if self._inner is not None:
-            self._inner.last_stats = {}  # counters are per outer query
-            inner_ids, inner_dists = self._inner._query(
-                q, min(k + len(self._dead), self._inner.n),
+        if state.inner is not None:
+            state.inner.last_stats = {}  # counters are per outer query
+            inner_ids, inner_dists = state.inner._query(
+                q, min(k + len(state.dead), state.inner.n),
                 num_candidates=num_candidates,
             )
-            self.last_stats.update(self._inner.last_stats)
+            self._merge_inner_stats(state.inner)
             # Translate inner positions to stable handles, drop tombstones.
             pairs = [
-                (float(d), int(self._indexed_handles[i]))
+                (float(d), int(state.indexed_handles[i]))
                 for i, d in zip(inner_ids, inner_dists)
-                if int(self._indexed_handles[i]) not in self._dead
+                if int(state.indexed_handles[i]) not in state.dead
             ]
         # Exact scan of the pending buffer (it is small by construction).
-        for h in self._buffer_handles:
-            if h in self._dead:
+        buffer = state.buffer
+        for h in buffer:
+            if h in state.dead:
                 continue
             d = float(pairwise(self._vectors[h : h + 1], q, self.metric)[0])
             pairs.append((d, h))
-        self.last_stats["buffer_scanned"] = float(len(self._buffer_handles))
+        self.last_stats["buffer_scanned"] = float(len(buffer))
         pairs.sort()
         top = pairs[:k]
         ids = np.array([h for _, h in top], dtype=np.int64)
@@ -200,20 +293,22 @@ class DynamicLCCSLSH(ANNIndex):
         point) pair.  Per query the results are identical to
         :meth:`_query`.
         """
+        state = self._state  # one snapshot for the whole batch
         Q = len(queries)
         inner_results: List[Tuple[np.ndarray, np.ndarray]]
-        if self._inner is not None:
-            self._inner.last_stats = {}
-            inner_results = self._inner._batch_query(
-                queries, min(k + len(self._dead), self._inner.n),
+        if state.inner is not None:
+            state.inner.last_stats = {}
+            inner_results = state.inner._batch_query(
+                queries, min(k + len(state.dead), state.inner.n),
                 num_candidates=num_candidates,
             )
-            self.last_stats.update(self._inner.last_stats)
+            self._merge_inner_stats(state.inner)
         else:
             inner_results = [
                 (np.empty(0, dtype=np.int64), np.empty(0)) for _ in range(Q)
             ]
-        live_buffer = [h for h in self._buffer_handles if h not in self._dead]
+        buffer = list(state.buffer)
+        live_buffer = [h for h in buffer if h not in state.dead]
         if live_buffer and Q:
             # Row-wise kernel (buffer tiled per query) rather than the
             # cross kernel: identical reduction order to the single-query
@@ -235,9 +330,9 @@ class DynamicLCCSLSH(ANNIndex):
         for qi in range(Q):
             inner_ids, inner_dists = inner_results[qi]
             pairs = [
-                (float(d), int(self._indexed_handles[i]))
+                (float(d), int(state.indexed_handles[i]))
                 for i, d in zip(inner_ids, inner_dists)
-                if int(self._indexed_handles[i]) not in self._dead
+                if int(state.indexed_handles[i]) not in state.dead
             ]
             if live_buffer:
                 pairs.extend(
@@ -252,16 +347,17 @@ class DynamicLCCSLSH(ANNIndex):
                     np.array([d for d, _ in top]),
                 )
             )
-        self.last_stats["buffer_scanned"] = float(len(self._buffer_handles)) * Q
+        self.last_stats["buffer_scanned"] = float(len(buffer)) * Q
         return out
 
     def index_size_bytes(self) -> int:
-        inner = self._inner.index_size_bytes() if self._inner else 0
+        state = self._state
+        inner = state.inner.index_size_bytes() if state.inner else 0
         # Pending rows are part of the structure a deployment must hold
         # to answer queries; count them until the next rebuild absorbs
         # them into the CSA.
         itemsize = self._store.itemsize if self._store is not None else 8
-        return inner + len(self._buffer_handles) * self.dim * itemsize
+        return inner + len(state.buffer) * self.dim * itemsize
 
     # ------------------------------------------------------------------
     # Native persistence: the live prefix of the store, the handle
@@ -280,20 +376,21 @@ class DynamicLCCSLSH(ANNIndex):
             raise NotImplementedError(
                 "DynamicLCCSLSH with non-JSON-safe LCCS kwargs"
             )
+        epoch = self._state
         state: dict = {
             "m": self._m,
             "rebuild_threshold": self.rebuild_threshold,
             "lccs_kwargs": dict(self._lccs_kwargs),
-            "buffer_handles": [int(h) for h in self._buffer_handles],
-            "dead": sorted(int(h) for h in self._dead),
+            "buffer_handles": [int(h) for h in epoch.buffer],
+            "dead": sorted(int(h) for h in epoch.dead),
             "rebuilds": int(self.rebuilds),
         }
         arrays: Dict[str, np.ndarray] = {}
         if self._store is not None:
             arrays["store"] = self._vectors
-            arrays["indexed_handles"] = self._indexed_handles
-        if self._inner is not None:
-            inner_manifest, inner_arrays = export_index(self._inner)
+            arrays["indexed_handles"] = epoch.indexed_handles
+        if epoch.inner is not None:
+            inner_manifest, inner_arrays = export_index(epoch.inner)
             state["inner"] = inner_manifest
             arrays.update(pack_nested(inner_arrays, "inner"))
         return state, arrays
@@ -314,20 +411,26 @@ class DynamicLCCSLSH(ANNIndex):
             rebuild_threshold=float(state["rebuild_threshold"]),
             **kwargs,
         )
+        indexed_handles = np.empty(0, dtype=np.int64)
         if "store" in arrays:
             index._store = np.ascontiguousarray(arrays["store"])
             index._size = len(index._store)
-            index._indexed_handles = np.asarray(
+            indexed_handles = np.asarray(
                 arrays["indexed_handles"], dtype=np.int64
             )
             index._data = index._vectors
-        index._buffer_handles = [int(h) for h in state["buffer_handles"]]
-        index._dead = set(int(h) for h in state["dead"])
-        index.rebuilds = int(state["rebuilds"])
+        inner = None
         if "inner" in state:
-            index._inner = import_index(
+            inner = import_index(
                 state["inner"], unpack_nested(arrays, "inner"), source="<inner>"
             )
+        index._state = _DynState(
+            inner,
+            indexed_handles,
+            [int(h) for h in state["buffer_handles"]],
+            set(int(h) for h in state["dead"]),
+        )
+        index.rebuilds = int(state["rebuilds"])
         return index
 
     def get_vector(self, handle: int) -> np.ndarray:

@@ -10,6 +10,12 @@ With ``batch=True`` the queries go through the index's vectorised
 ``batch_query`` engine in one call, and the result additionally carries
 the batch throughput (``qps``).  Scoring always happens *outside* the
 timed window, so ``avg_query_time_ms`` measures query work only.
+
+``evaluate_service`` runs the same workload through
+:class:`repro.serve.ANNService` from ``threads`` concurrent client
+threads — the serving configuration — and folds the service's exact
+counters (cache hit ratio, micro-batch sizes, lock-layer reads/writes)
+into the result's ``stats``.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.base import ANNIndex
 from repro.data.ground_truth import GroundTruth
 from repro.eval.metrics import overall_ratio, recall
 
-__all__ = ["EvalResult", "evaluate"]
+__all__ = ["EvalResult", "evaluate", "evaluate_service"]
 
 
 @dataclass
@@ -50,6 +56,24 @@ class EvalResult:
             f"qps={self.qps:10.1f}  "
             f"build={self.build_time_s:7.2f} s  size={self.index_size_mb:8.2f} MB"
         )
+
+
+def _score(
+    collected: List[Tuple[np.ndarray, np.ndarray]],
+    ground_truth: GroundTruth,
+    k: int,
+) -> Tuple[float, float]:
+    """Mean recall and mean finite overall-ratio over collected results."""
+    recalls = np.empty(len(collected))
+    ratios = np.empty(len(collected))
+    for i, (ids, dists) in enumerate(collected):
+        recalls[i] = recall(ids, ground_truth.indices[i, :k])
+        ratios[i] = overall_ratio(dists, ground_truth.distances[i, :k])
+    finite = ratios[np.isfinite(ratios)]
+    return (
+        float(recalls.mean()),
+        float(finite.mean()) if len(finite) else float("inf"),
+    )
 
 
 def evaluate(
@@ -115,13 +139,8 @@ def evaluate(
                 stats_acc[key] = stats_acc.get(key, 0.0) + float(val)
     # Scoring runs outside the timed window: recall()/overall_ratio()
     # are harness overhead, not query work.
-    recalls = np.empty(nq)
-    ratios = np.empty(nq)
-    for i, (ids, dists) in enumerate(collected):
-        recalls[i] = recall(ids, ground_truth.indices[i, :k])
-        ratios[i] = overall_ratio(dists, ground_truth.distances[i, :k])
+    mean_recall, mean_ratio = _score(collected, ground_truth, k)
     stats_avg = {key: val / nq for key, val in stats_acc.items()}
-    finite = ratios[np.isfinite(ratios)]
     params = dict(params or {})
     # Sharded indexes evaluate like any other; annotate the result so
     # sweeps over shard counts stay self-describing.
@@ -134,12 +153,98 @@ def evaluate(
     return EvalResult(
         method=index.name,
         k=k,
-        recall=float(recalls.mean()),
-        ratio=float(finite.mean()) if len(finite) else float("inf"),
+        recall=mean_recall,
+        ratio=mean_ratio,
         avg_query_time_ms=elapsed / nq * 1e3,
         build_time_s=index.build_time,
         index_size_mb=index.index_size_bytes() / (1024.0 * 1024.0),
         qps=nq / elapsed if elapsed > 0 else float("inf"),
         params=params,
         stats=stats_avg,
+    )
+
+
+def evaluate_service(
+    index: ANNIndex,
+    data: np.ndarray,
+    queries: np.ndarray,
+    ground_truth: GroundTruth,
+    k: int = 10,
+    query_kwargs: Optional[Dict[str, Any]] = None,
+    params: Optional[Dict[str, Any]] = None,
+    threads: int = 1,
+    cache_size: int = 1024,
+    batch_window_ms: float = 1.0,
+    max_batch_size: int = 32,
+) -> EvalResult:
+    """Evaluate ``index`` served through :class:`repro.serve.ANNService`.
+
+    Every query is submitted as a *single* request from a pool of
+    ``threads`` client threads, so the measured throughput includes the
+    service's locking, caching, and micro-batching — the serving
+    configuration rather than the library-call configuration that
+    :func:`evaluate` measures.  Results are identical to direct queries
+    (the service's equivalence contract), so recall/ratio match
+    :func:`evaluate` exactly.
+
+    Args:
+        threads: number of concurrent client threads issuing requests.
+        cache_size: service LRU capacity (0 disables the result cache).
+        batch_window_ms / max_batch_size: micro-batching knobs, see
+            :class:`~repro.serve.service.ANNService`.
+
+    The result's ``stats`` carries the service's exact counters —
+    ``cache_hit_ratio``, ``batches``, ``avg_batch_size``, ``reads`` —
+    plus the client ``threads``.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve.service import ANNService
+
+    if ground_truth.k < k:
+        raise ValueError(
+            f"ground truth has k={ground_truth.k}, need at least {k}"
+        )
+    if len(queries) != len(ground_truth):
+        raise ValueError("queries and ground truth must align")
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    query_kwargs = query_kwargs or {}
+    if not index.is_fitted:
+        index.fit(data)
+    nq = len(queries)
+    with ANNService(
+        index,
+        cache_size=cache_size,
+        batch_window_ms=batch_window_ms,
+        max_batch_size=max_batch_size,
+    ) as service:
+
+        def one(q: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            return service.query(q, k=k, **query_kwargs)
+
+        start = time.perf_counter()
+        if threads == 1:
+            collected = [one(q) for q in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as clients:
+                collected = list(clients.map(one, queries))
+        elapsed = time.perf_counter() - start
+        service_stats = service.stats()
+    mean_recall, mean_ratio = _score(collected, ground_truth, k)
+    params = dict(params or {})
+    params.setdefault("threads", int(threads))
+    params.setdefault("cache_size", int(cache_size))
+    service_stats["threads"] = float(threads)
+    return EvalResult(
+        method=f"{index.name}+service",
+        k=k,
+        recall=mean_recall,
+        ratio=mean_ratio,
+        avg_query_time_ms=elapsed / nq * 1e3,
+        build_time_s=index.build_time,
+        index_size_mb=index.index_size_bytes() / (1024.0 * 1024.0),
+        qps=nq / elapsed if elapsed > 0 else float("inf"),
+        params=params,
+        stats={key: float(val) for key, val in service_stats.items()},
     )

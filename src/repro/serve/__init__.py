@@ -22,8 +22,21 @@ This package turns the in-process indexes into servable artifacts:
   sharded queries are byte-identical to unsharded ones.
 * :mod:`repro.serve.registry` — name -> class registry the manifests
   reference, so loading a bundle never unpickles a class reference.
+* :mod:`repro.serve.concurrency` —
+  :class:`~repro.serve.concurrency.ConcurrentIndex` makes any index
+  safe to share across threads: parallel readers, exclusive writers
+  behind a writer-preference lock, and a monotone **version** counter
+  bumped on every write.
+* :mod:`repro.serve.cache` — :class:`~repro.serve.cache.QueryCache`, a
+  thread-safe LRU keyed on (query bytes, k, kwargs, index version), so
+  a hit is always byte-identical to a fresh query at that version.
+* :mod:`repro.serve.service` — :class:`~repro.serve.service.ANNService`
+  composes all of the above and micro-batches concurrent single
+  queries into one vectorised ``batch_query`` call.
 """
 
+from repro.serve.cache import QueryCache, query_key
+from repro.serve.concurrency import ConcurrentIndex, RWLock
 from repro.serve.persistence import (
     FORMAT_VERSION,
     BundleError,
@@ -40,13 +53,19 @@ from repro.serve.registry import (
     registry_name,
     resolve_index_class,
 )
+from repro.serve.service import ANNService
 from repro.serve.sharding import IndexSpec, ShardedIndex, merge_topk
 
 __all__ = [
+    "ANNService",
     "BundleError",
+    "ConcurrentIndex",
     "FORMAT_VERSION",
     "IndexSpec",
+    "QueryCache",
+    "RWLock",
     "ShardedIndex",
+    "query_key",
     "export_index",
     "import_index",
     "index_names",

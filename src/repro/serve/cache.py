@@ -1,0 +1,125 @@
+"""Thread-safe LRU cache for query results, keyed on the index version.
+
+A cache entry maps ``(query bytes, k, query kwargs, index version)`` to
+the exact ``(ids, dists)`` the index returned at that version.  Because
+the **version is part of the key**, a write (which bumps the version)
+makes every older entry unreachable — a lookup after a write can never
+return a stale answer, even if invalidation raced with the write.
+:meth:`QueryCache.invalidate` additionally drops the dead entries
+eagerly so memory is reclaimed immediately rather than via LRU churn.
+
+Entries are stored and returned as **copies**, so a caller mutating a
+result array cannot poison the cache, and hits are byte-identical to the
+answer originally computed.  Hit/miss/eviction counters are exact (kept
+under the same mutex as the table) and surfaced via :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QueryCache", "query_key"]
+
+#: cache key type: (query bytes, dtype, shape, k, kwargs, version)
+CacheKey = Tuple[bytes, str, tuple, int, tuple, int]
+
+
+def query_key(q: np.ndarray, k: int, version: int, kwargs: dict) -> CacheKey:
+    """Build the cache key for one query at one index version.
+
+    The raw query bytes (plus dtype and shape, so distinct arrays with
+    equal buffers don't collide) identify the query; ``kwargs`` covers
+    query-time knobs like ``num_candidates`` that change the answer.
+    """
+    q = np.asarray(q)
+    return (
+        q.tobytes(),
+        q.dtype.str,
+        q.shape,
+        int(k),
+        tuple(sorted(kwargs.items())),
+        int(version),
+    )
+
+
+class QueryCache:
+    """Bounded LRU mapping :func:`query_key` -> ``(ids, dists)``.
+
+    Args:
+        max_entries: capacity; the least recently *used* entry is
+            evicted when a put would exceed it.
+
+    All methods are safe to call from any thread.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self._table: "OrderedDict[CacheKey, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: CacheKey) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The cached ``(ids, dists)`` (fresh copies), or ``None``."""
+        with self._lock:
+            entry = self._table.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._table.move_to_end(key)
+            self._hits += 1
+            ids, dists = entry
+        return ids.copy(), dists.copy()
+
+    def put(self, key: CacheKey, ids: np.ndarray, dists: np.ndarray) -> None:
+        """Store copies of ``(ids, dists)``; evicts LRU entries to fit."""
+        ids = np.array(ids, copy=True)
+        dists = np.array(dists, copy=True)
+        with self._lock:
+            self._table[key] = (ids, dists)
+            self._table.move_to_end(key)
+            while len(self._table) > self.max_entries:
+                self._table.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (called after a write; key versioning already
+        guarantees correctness — this reclaims the memory eagerly)."""
+        with self._lock:
+            self._table.clear()
+            self._invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+    def stats(self) -> dict:
+        """Exact counters: hits, misses, hit_ratio, size, evictions."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_ratio": self._hits / total if total else 0.0,
+                "size": len(self._table),
+                "max_entries": self.max_entries,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"QueryCache(size={s['size']}/{s['max_entries']}, "
+            f"hits={s['hits']}, misses={s['misses']})"
+        )

@@ -1,0 +1,272 @@
+"""Thread-safe serving primitives: a reader-writer lock and a locked facade.
+
+The library's indexes are written for single-threaded use: ``query``
+mutates ``last_stats``, ``insert``/``delete`` rewrite internal arrays,
+and a :class:`~repro.core.dynamic.DynamicLCCSLSH` rebuild replaces whole
+structures.  :class:`ConcurrentIndex` makes any
+:class:`~repro.base.ANNIndex` safe to share across threads:
+
+* ``query`` / ``batch_query`` take a *shared* (read) lock, so any number
+  of them proceed in parallel;
+* ``insert`` / ``delete`` / ``fit`` take an *exclusive* (write) lock;
+* the lock is **writer-preference** (a write-intent queue): as soon as a
+  writer is waiting, newly arriving readers block behind it, so a steady
+  read stream cannot starve updates;
+* every write bumps a monotonically increasing **version** counter, read
+  under the same locks — the key the query cache uses to know a cached
+  answer is still current.
+
+Per-query ``last_stats`` on the wrapped index are *not* meaningful under
+concurrent readers (every reader resets them); use
+:meth:`ConcurrentIndex.stats` for exact aggregate read/write counters
+instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+
+__all__ = ["RWLock", "ConcurrentIndex"]
+
+
+class RWLock:
+    """Reader-writer lock with writer preference.
+
+    Any number of readers hold the lock together; a writer holds it
+    alone.  While at least one writer is *waiting*, new readers queue
+    behind it (the write-intent rule), so writers are never starved by a
+    continuous stream of reads; once no writer is waiting, all queued
+    readers are released together.
+
+    Not reentrant: a thread holding the read lock must not acquire the
+    write lock (it would deadlock with itself).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class ConcurrentIndex:
+    """Thread-safe facade over any :class:`~repro.base.ANNIndex`.
+
+    Reads (``query``/``batch_query``) run under a shared lock and so
+    proceed in parallel with each other; writes (``insert``/``delete``/
+    ``fit``) run under an exclusive lock, fully serialized with every
+    read and write.  The ``_versioned`` variants additionally return the
+    index **version** observed *under the same lock* as the operation —
+    so a reader knows exactly which write-state its answer reflects, and
+    a writer knows the version its write produced.
+
+    Thread-safety guarantees:
+
+    * results returned by a read reflect exactly one version — no torn
+      reads across a concurrent write;
+    * handles returned by ``insert`` are assigned in version order
+      (writes are serialized), so replaying the write log serially on a
+      fresh index reproduces the final state byte-for-byte;
+    * writers cannot starve (writer-preference lock).
+
+    Args:
+        index: the index to wrap (fitted or not).
+    """
+
+    def __init__(self, index: ANNIndex):
+        if not isinstance(index, ANNIndex):
+            raise TypeError(f"{index!r} is not an ANNIndex")
+        self._index = index
+        self._lock = RWLock()
+        # Counters are guarded by their own tiny mutex so readers (which
+        # only share the RW lock) still update them exactly.
+        self._stats_lock = threading.Lock()
+        self._version = 0
+        self._reads = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (lock-free reads of immutable / atomic attributes)
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self) -> ANNIndex:
+        """The wrapped index.  Touch it directly only while no other
+        thread is using this facade."""
+        return self._index
+
+    @property
+    def version(self) -> int:
+        """Number of completed writes (``insert``/``delete``/``fit``)."""
+        return self._version
+
+    @property
+    def dim(self) -> int:
+        return self._index.dim
+
+    @property
+    def metric(self) -> str:
+        return self._index.metric
+
+    @property
+    def name(self) -> str:
+        return f"Concurrent[{self._index.name}]"
+
+    @property
+    def n(self) -> int:
+        with self._lock.read_locked():
+            return self._index.n
+
+    @property
+    def is_fitted(self) -> bool:
+        with self._lock.read_locked():
+            return self._index.is_fitted
+
+    # ------------------------------------------------------------------
+    # Reads (shared lock)
+    # ------------------------------------------------------------------
+
+    def query(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ids, dists, _ = self.query_versioned(q, k, **kwargs)
+        return ids, dists
+
+    def query_versioned(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(ids, dists, version)`` — the version the answer reflects."""
+        with self._lock.read_locked():
+            ids, dists = self._index.query(q, k=k, **kwargs)
+            version = self._version
+        self._count_read()
+        return ids, dists, version
+
+    def batch_query(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ids, dists, _ = self.batch_query_versioned(queries, k, **kwargs)
+        return ids, dists
+
+    def batch_query_versioned(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(ids, dists, version)`` for a whole batch under one lock."""
+        with self._lock.read_locked():
+            ids, dists = self._index.batch_query(queries, k=k, **kwargs)
+            version = self._version
+        self._count_read()
+        return ids, dists, version
+
+    # ------------------------------------------------------------------
+    # Writes (exclusive lock)
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "ConcurrentIndex":
+        with self._lock.write_locked():
+            self._index.fit(data)
+            self._bump_version()
+        return self
+
+    def insert(self, vector: np.ndarray) -> int:
+        handle, _ = self.insert_versioned(vector)
+        return handle
+
+    def insert_versioned(self, vector: np.ndarray) -> Tuple[int, int]:
+        """``(handle, version)`` — the version this insert produced."""
+        self._require_dynamic("insert")
+        with self._lock.write_locked():
+            handle = self._index.insert(vector)
+            version = self._bump_version()
+        return int(handle), version
+
+    def delete(self, handle: int) -> None:
+        self.delete_versioned(handle)
+
+    def delete_versioned(self, handle: int) -> int:
+        """Delete ``handle``; returns the version this delete produced."""
+        self._require_dynamic("delete")
+        with self._lock.write_locked():
+            self._index.delete(handle)
+            return self._bump_version()
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Exact aggregate counters: completed reads, writes, version."""
+        with self._stats_lock:
+            return {
+                "reads": self._reads,
+                "writes": self._writes,
+                "version": self._version,
+            }
+
+    def _require_dynamic(self, op: str) -> None:
+        if not hasattr(self._index, op):
+            raise TypeError(
+                f"wrapped index {type(self._index).__name__} does not "
+                f"support {op}; wrap a dynamic index (e.g. DynamicLCCSLSH)"
+            )
+
+    def _bump_version(self) -> int:
+        """Called with the write lock held."""
+        with self._stats_lock:
+            self._version += 1
+            self._writes += 1
+            return self._version
+
+    def _count_read(self) -> None:
+        with self._stats_lock:
+            self._reads += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConcurrentIndex({self._index!r}, version={self._version})"

@@ -1,0 +1,360 @@
+"""In-process ANN service: locking, caching, and query micro-batching.
+
+:class:`ANNService` is the top of the serving stack built across PRs
+1-3: it wraps any :class:`~repro.base.ANNIndex` (including a
+:class:`~repro.serve.sharding.ShardedIndex`) in a
+:class:`~repro.serve.concurrency.ConcurrentIndex` and serves requests
+from many threads at once with two throughput levers on top of the
+locks:
+
+* **query-result cache** — an LRU keyed on ``(query bytes, k, kwargs,
+  index version)`` (:mod:`repro.serve.cache`).  Hits skip the index
+  entirely; any ``insert``/``delete`` bumps the version, making every
+  cached entry unreachable (and eagerly dropped), so a cached answer is
+  always byte-identical to a fresh query at the same version.
+* **micro-batching** — concurrent single queries are coalesced by a
+  dedicated executor thread into one ``batch_query`` call (PR 1's
+  vectorised engine).  The first request in an empty queue waits at most
+  ``batch_window_ms`` for company; compatible requests (same ``k`` and
+  query kwargs) then execute as one batch of up to ``max_batch_size``.
+  Per request the answer is *byte-identical* to what a direct
+  ``batch_query`` (and therefore a direct ``query``) would return — the
+  contract ``tests/test_service_equivalence.py`` pins down.
+
+Thread-safety summary (see README "Serving"):
+
+=====================  ====================================================
+class                  guarantee
+=====================  ====================================================
+``ANNIndex`` family    none — single thread only
+``ConcurrentIndex``    many parallel readers XOR one writer; no starvation
+``QueryCache``         fully thread-safe; version-keyed (never stale)
+``ANNService``         fully thread-safe; results versioned and cached
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.base import ANNIndex
+from repro.serve.cache import QueryCache, query_key
+from repro.serve.concurrency import ConcurrentIndex
+
+__all__ = ["ANNService"]
+
+
+class _Request:
+    """One pending single-query request inside the micro-batcher."""
+
+    __slots__ = ("q", "k", "kwargs", "group", "future")
+
+    def __init__(self, q: np.ndarray, k: int, kwargs: dict):
+        self.q = q
+        self.k = k
+        self.kwargs = kwargs
+        #: requests batch together only when k and kwargs agree
+        self.group = (k, tuple(sorted(kwargs.items())))
+        self.future: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
+
+
+class ANNService:
+    """Serve an index to many threads: locks + cache + micro-batching.
+
+    Args:
+        index: any :class:`ANNIndex`, or an already-wrapped
+            :class:`ConcurrentIndex` (shared locking with other users).
+        cache_size: LRU capacity for the query-result cache; ``0``
+            disables caching entirely.
+        batch_window_ms: how long the first queued query waits for
+            others to coalesce with before executing (0 = no wait; each
+            drain takes whatever is queued at that instant).
+        max_batch_size: micro-batch size cap; a full batch executes
+            immediately without waiting out the window.
+        min_vector_batch: micro-batches smaller than this loop the
+            single-query path instead of the vectorised ``batch_query``
+            engine, whose fixed per-call cost only amortises at larger
+            batches (PR 1 pins both paths byte-identical, so only the
+            speed changes).  Default 12, near the measured crossover in
+            ``benchmarks/bench_concurrent.py``.
+
+    ``query`` returns ``(ids, dists)`` exactly like ``ANNIndex.query``
+    (unpadded, ascending distance, ties by id); ``query_async`` returns
+    a :class:`~concurrent.futures.Future` resolving to the same.  Use
+    the service as a context manager, or call :meth:`close`, to stop the
+    executor thread.
+    """
+
+    def __init__(
+        self,
+        index,
+        cache_size: int = 1024,
+        batch_window_ms: float = 2.0,
+        max_batch_size: int = 64,
+        min_vector_batch: int = 12,
+    ):
+        if isinstance(index, ConcurrentIndex):
+            self._ci = index
+        elif isinstance(index, ANNIndex):
+            self._ci = ConcurrentIndex(index)
+        else:
+            raise TypeError(
+                f"{index!r} is neither an ANNIndex nor a ConcurrentIndex"
+            )
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self._cache = QueryCache(cache_size) if cache_size > 0 else None
+        self._window = float(batch_window_ms) / 1e3
+        self._max_batch = int(max_batch_size)
+        self._min_vector_batch = max(1, int(min_vector_batch))
+        self._queue: Deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._stop = False
+        self._batches = 0
+        self._batched_queries = 0
+        self._largest_batch = 0
+        self._executor = threading.Thread(
+            target=self._run, name="ANNService-batcher", daemon=True
+        )
+        self._executor.start()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def query(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Single query through cache + micro-batcher (blocking)."""
+        return self.query_async(q, k, **kwargs).result()
+
+    def query_async(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> "Future[Tuple[np.ndarray, np.ndarray]]":
+        """Submit a single query; the future resolves to ``(ids, dists)``.
+
+        Cache hits resolve immediately without touching the index; on a
+        miss the request joins the micro-batch queue and executes inside
+        the next coalesced ``batch_query`` call.
+        """
+        q = np.asarray(q)
+        if q.shape != (self._ci.dim,):
+            raise ValueError(
+                f"query must have shape ({self._ci.dim},), got {q.shape}"
+            )
+        if k <= 0:
+            raise ValueError("k must be positive")
+        fut: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
+        if self._cache is not None:
+            hit = self._cache.get(query_key(q, k, self._ci.version, kwargs))
+            if hit is not None:
+                fut.set_result(hit)
+                return fut
+        request = _Request(q.copy(), int(k), dict(kwargs))
+        with self._cond:
+            if self._stop:
+                raise RuntimeError("ANNService is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def batch_query(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch passthrough: one locked ``batch_query`` on the index.
+
+        Already-batched callers skip the micro-batcher (no window wait).
+        Returns the padded ``(n, k)`` matrices exactly as
+        ``ANNIndex.batch_query`` would; rows are written into the cache
+        so later single queries can hit.
+        """
+        ids, dists, version = self._ci.batch_query_versioned(
+            queries, k=k, **kwargs
+        )
+        if self._cache is not None:
+            queries = np.asarray(queries)
+            for i in range(len(queries)):
+                valid = ids[i] >= 0
+                self._cache.put(
+                    query_key(queries[i], k, version, kwargs),
+                    ids[i][valid],
+                    dists[i][valid],
+                )
+        return ids, dists
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert under the exclusive lock; invalidates the cache."""
+        handle, _ = self._ci.insert_versioned(vector)
+        if self._cache is not None:
+            self._cache.invalidate()
+        return handle
+
+    def delete(self, handle: int) -> None:
+        """Delete under the exclusive lock; invalidates the cache."""
+        self._ci.delete_versioned(handle)
+        if self._cache is not None:
+            self._cache.invalidate()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> ConcurrentIndex:
+        """The underlying :class:`ConcurrentIndex`."""
+        return self._ci
+
+    @property
+    def dim(self) -> int:
+        return self._ci.dim
+
+    @property
+    def version(self) -> int:
+        return self._ci.version
+
+    def stats(self) -> dict:
+        """Aggregate service counters.
+
+        ``reads``/``writes``/``version`` from the lock layer,
+        ``cache_*`` from the LRU (hits, misses, hit_ratio, ...), and the
+        micro-batcher's ``batches`` / ``batched_queries`` /
+        ``largest_batch`` / ``avg_batch_size``.
+        """
+        out = self._ci.stats()
+        if self._cache is not None:
+            out.update(
+                {f"cache_{key}": val for key, val in self._cache.stats().items()}
+            )
+        with self._cond:
+            batches, batched = self._batches, self._batched_queries
+            out["batches"] = batches
+            out["batched_queries"] = batched
+            out["largest_batch"] = self._largest_batch
+        out["avg_batch_size"] = batched / batches if batches else 0.0
+        return out
+
+    def close(self) -> None:
+        """Stop the executor thread; pending requests still complete."""
+        with self._cond:
+            if self._stop:
+                return
+            self._stop = True
+            self._cond.notify_all()
+        self._executor.join()
+
+    def __enter__(self) -> "ANNService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Micro-batch executor
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if not self._queue:  # stopped and drained
+                    return
+                if not self._stop and self._window > 0:
+                    # Bounded wait for the batch to fill: a full batch
+                    # (or close()) cuts the window short.
+                    deadline = time.monotonic() + self._window
+                    while len(self._queue) < self._max_batch and not self._stop:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                batch = self._take_group_locked()
+            self._execute(batch)
+
+    def _take_group_locked(self) -> list:
+        """Pop up to ``max_batch_size`` queued requests sharing the head
+        request's (k, kwargs) group; others keep their queue order."""
+        group = self._queue[0].group
+        batch: list = []
+        rest: Deque[_Request] = deque()
+        while self._queue and len(batch) < self._max_batch:
+            request = self._queue.popleft()
+            if request.group == group:
+                batch.append(request)
+            else:
+                rest.append(request)
+        rest.extend(self._queue)
+        self._queue = rest
+        return batch
+
+    def _execute(self, batch: list) -> None:
+        # Claim every future before touching the index: a request whose
+        # caller already cancelled it is dropped here, and a claimed
+        # (RUNNING) future can no longer be cancelled, so the
+        # set_result/set_exception calls below cannot raise
+        # InvalidStateError and kill the executor thread.
+        batch = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        k, kwargs = batch[0].k, batch[0].kwargs
+        try:
+            if len(batch) < self._min_vector_batch:
+                # Small batches loop the single-query path: the batch
+                # engine's fixed per-call cost (lock-step bisections
+                # sized for whole batches) only amortises at larger
+                # sizes, and PR 1 pins both paths byte-identical.  Each
+                # request carries the version of its own execution
+                # instant (a write may land between loop iterations).
+                rows = []
+                for request in batch:
+                    q_ids, q_dists, version = self._ci.query_versioned(
+                        request.q, k=k, **kwargs
+                    )
+                    rows.append((q_ids, q_dists, version))
+            else:
+                stacked = np.stack([request.q for request in batch])
+                ids, dists, version = self._ci.batch_query_versioned(
+                    stacked, k=k, **kwargs
+                )
+                rows = []
+                for i in range(len(batch)):
+                    valid = ids[i] >= 0  # strip the -1 / inf padding
+                    rows.append((ids[i][valid], dists[i][valid], version))
+        except BaseException as exc:  # propagate to every waiter
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        with self._cond:
+            self._batches += 1
+            self._batched_queries += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        for request, (row_ids, row_dists, row_version) in zip(batch, rows):
+            if self._cache is not None:
+                self._cache.put(
+                    query_key(request.q, k, row_version, kwargs),
+                    row_ids,
+                    row_dists,
+                )
+            request.future.set_result((row_ids, row_dists))

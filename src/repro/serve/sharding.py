@@ -21,11 +21,21 @@ byte-identical to the unsharded one — the invariant
 sharded index routes inserts round-robin and deletes by handle lookup,
 preserving the unsharded handle sequence: the i-th insert returns handle
 ``n + i`` exactly like a single ``DynamicLCCSLSH`` would.
+
+**Thread safety.**  Like every :class:`~repro.base.ANNIndex`, a
+``ShardedIndex`` is a single-threaded object (``insert`` mutates the
+round-robin cursor and handle maps without locks).  For concurrent
+serving wrap it — ``index.concurrent()`` or
+:class:`repro.serve.ANNService` — which serializes writers against the
+fan-out reads.  The internal query fan-out pool is reused across calls
+(thread creation off the hot path); call :meth:`ShardedIndex.close` (or
+use the index as a context manager) to release its threads eagerly.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -168,6 +178,11 @@ class ShardedIndex(ANNIndex):
         self._next_shard = 0
         #: how the last build actually ran ("process"/"thread"/"serial")
         self.build_mode: Optional[str] = None
+        #: lazily created, reused across batch_query calls (pool spin-up
+        #: is milliseconds — too slow to pay per query when serving);
+        #: creation guarded so parallel readers share one pool
+        self._fanout_pool = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Build
@@ -250,7 +265,8 @@ class ShardedIndex(ANNIndex):
 
     def _accumulate_shard_stats(self) -> None:
         for shard in self.shards:
-            for key, val in shard.last_stats.items():
+            # best-effort under parallel readers, see ANNIndex._stats_items
+            for key, val in self._stats_items(shard.last_stats):
                 self.last_stats[key] = self.last_stats.get(key, 0.0) + float(val)
         self.last_stats["shards"] = float(self.num_shards)
 
@@ -279,11 +295,9 @@ class ShardedIndex(ANNIndex):
             return shard.batch_query(queries, k=k, **kwargs)
 
         jobs = list(enumerate(self.shards))
-        if self.parallel != "serial" and len(jobs) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self._workers()) as pool:
-                shard_results = list(pool.map(run, jobs))
+        pool = self._query_pool() if len(jobs) > 1 else None
+        if pool is not None:
+            shard_results = list(pool.map(run, jobs))
         else:
             shard_results = [run(job) for job in jobs]
         self._accumulate_shard_stats()
@@ -362,6 +376,51 @@ class ShardedIndex(ANNIndex):
         raise KeyError(f"unknown handle {handle}")
 
     # ------------------------------------------------------------------
+
+    def _query_pool(self):
+        """The reused fan-out thread pool, or ``None`` for serial mode.
+
+        Created on first use and kept for the life of the index; falls
+        back to ``None`` (serial fan-out) if threads cannot be started.
+        """
+        if self.parallel == "serial":
+            return None
+        with self._pool_lock:
+            if self._fanout_pool is None:
+                try:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._fanout_pool = ThreadPoolExecutor(
+                        max_workers=self._workers(),
+                        thread_name_prefix="shard-fanout",
+                    )
+                except RuntimeError:  # e.g. "can't start new thread"
+                    self.parallel = "serial"
+                    return None
+            return self._fanout_pool
+
+    def close(self) -> None:
+        """Shut down the reused fan-out pool (idempotent).
+
+        The index stays usable — the next parallel ``batch_query``
+        simply spins a fresh pool up.
+        """
+        with self._pool_lock:
+            pool, self._fanout_pool = self._fanout_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def index_size_bytes(self) -> int:
         return sum(shard.index_size_bytes() for shard in self.shards)

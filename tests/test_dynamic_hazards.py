@@ -1,0 +1,202 @@
+"""Regression tests for DynamicLCCSLSH rebuild/query interleaving hazards.
+
+The concurrency stress suite surfaced two hazards in the original
+implementation, both fixed by the epoch-state refactor
+(:class:`repro.core.dynamic._DynState`):
+
+1. **Non-atomic rebuild swap.**  ``_rebuild`` used to clear the pending
+   buffer and tombstones and reassign the handle map *before* building
+   the new CSA (a slow operation).  Any query observing the index
+   mid-rebuild — a reentrant hook, a tracing callback, or an unlocked
+   concurrent reader — saw buffered points vanish and handle
+   translation mix epochs.  Now the new CSA is fully built first and
+   the whole epoch is swapped with one attribute store.
+
+2. **In-place clearing.**  The old code emptied the buffer list and the
+   tombstone set in place, so a reader that had already grabbed a
+   reference watched its own snapshot mutate to empty.  Now an epoch's
+   buffer/dead containers are never cleared — rebuilds publish fresh
+   ones — so a grabbed reference stays a consistent pre-rebuild view.
+
+These tests reproduce each hazard deterministically (no threads, no
+timing): a hook fires a query from *inside* the rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.dynamic as dynamic_module
+from repro import DynamicLCCSLSH
+from repro.core.lccs_lsh import LCCSLSH
+
+DIM = 6
+
+
+def _fitted(threshold=0.5) -> DynamicLCCSLSH:
+    rng = np.random.default_rng(17)
+    data = rng.normal(size=(40, DIM))
+    return DynamicLCCSLSH(
+        dim=DIM, m=8, w=4.0, seed=2, rebuild_threshold=threshold
+    ).fit(data)
+
+
+@pytest.fixture()
+def rebuild_hook(monkeypatch):
+    """Patch the LCCSLSH used by rebuilds so ``fit`` first runs a hook.
+
+    The hook executes at the exact point the old code had already
+    destroyed the buffer/tombstone bookkeeping — mid-rebuild, CSA not
+    yet swapped in.
+    """
+    hooks = {"fn": None}
+
+    class HookedLCCSLSH(LCCSLSH):
+        def fit(self, data):
+            if hooks["fn"] is not None:
+                fn, hooks["fn"] = hooks["fn"], None  # fire once
+                fn()
+            return super().fit(data)
+
+    monkeypatch.setattr(dynamic_module, "LCCSLSH", HookedLCCSLSH)
+    return hooks
+
+
+def test_mid_rebuild_query_still_sees_buffered_points(rebuild_hook):
+    """A query interleaved with the rebuild must not lose buffer points.
+
+    With the pre-fix ordering (buffer cleared before the CSA build) the
+    buffered insert is invisible mid-rebuild and this query misses an
+    exact-match point.
+    """
+    index = _fitted(threshold=0.5)
+    special = np.full(DIM, 7.5)
+    observed = {}
+
+    def query_during_rebuild():
+        ids, dists = index.query(special, k=1, num_candidates=40)
+        observed["ids"], observed["dists"] = ids, dists
+
+    rebuild_hook["fn"] = query_during_rebuild
+    handle = index.insert(special)  # lands in the buffer
+    # Push over the rebuild threshold; the hook queries mid-rebuild.
+    rng = np.random.default_rng(3)
+    while index.rebuilds < 2 and index.buffer_size < 40:
+        index.insert(rng.normal(size=DIM))
+    assert "ids" in observed, "rebuild hook never fired"
+    assert observed["ids"][0] == handle, (
+        "mid-rebuild query lost the buffered point"
+    )
+    assert observed["dists"][0] == 0.0
+
+
+def test_mid_rebuild_query_does_not_mix_epochs(rebuild_hook):
+    """Handle translation mid-rebuild must use one epoch's handle map.
+
+    The pre-fix code reassigned ``_indexed_handles`` before building the
+    CSA, so a mid-rebuild query translated *old* CSA positions through
+    the *new* handle map — returning wrong ids entirely.  Fixed, the
+    mid-rebuild answer is byte-identical to the answer just before the
+    rebuild started.
+    """
+    index = _fitted(threshold=0.5)
+    rng = np.random.default_rng(5)
+    probe = rng.normal(size=DIM)
+    inserted = [index.insert(rng.normal(size=DIM)) for _ in range(10)]
+    index.delete(inserted[0])
+    # Ground truth: the answer while the pre-rebuild epoch is current.
+    want_ids, want_dists = index.query(probe, k=5, num_candidates=200)
+    observed = {}
+
+    def query_during_rebuild():
+        ids, dists = index.query(probe, k=5, num_candidates=200)
+        observed["ids"], observed["dists"] = ids, dists
+
+    rebuild_hook["fn"] = query_during_rebuild
+    index._rebuild()  # the hook queries mid-swap, deterministically
+    assert "ids" in observed, "rebuild hook never fired"
+    assert observed["ids"].tobytes() == want_ids.tobytes()
+    assert observed["dists"].tobytes() == want_dists.tobytes()
+    # and after the swap the same query still agrees (epoch change is
+    # invisible to read results)
+    after_ids, after_dists = index.query(probe, k=5, num_candidates=200)
+    assert after_ids.tobytes() == want_ids.tobytes()
+    np.testing.assert_allclose(after_dists, want_dists, rtol=1e-12)
+
+
+def test_rebuild_publishes_fresh_epoch_objects():
+    """Rebuilds must replace — never clear — the epoch containers."""
+    index = _fitted(threshold=0.9)
+    rng = np.random.default_rng(8)
+    for _ in range(5):
+        index.insert(rng.normal(size=DIM))
+    index.delete(1)
+    old_state = index._state
+    old_buffer = old_state.buffer
+    old_dead = old_state.dead
+    buffered = list(old_buffer)
+    index._rebuild()
+    # a reader holding the old epoch still sees its full pre-rebuild view
+    assert index._state is not old_state
+    assert old_state.buffer is old_buffer and list(old_buffer) == buffered
+    assert old_state.dead is old_dead and 1 in old_dead
+    # and the new epoch starts clean, with the buffer absorbed
+    assert index.buffer_size == 0
+    assert index._state.dead == set()
+    assert index.live_count == 40 + 5 - 1
+
+
+def test_insert_publishes_row_before_handle():
+    """The store row must be readable the moment the handle is visible."""
+    index = _fitted(threshold=0.9)
+    vec = np.full(DIM, 3.25)
+    handle = index.insert(vec)
+    assert handle in index._state.buffer
+    assert np.array_equal(index.get_vector(handle), vec)
+
+
+def test_dynamic_still_correct_after_many_epochs():
+    """End-to-end sanity across several rebuilds (exact vs linear scan)."""
+    rng = np.random.default_rng(30)
+    data = rng.normal(size=(50, DIM))
+    index = DynamicLCCSLSH(
+        dim=DIM, m=8, w=4.0, seed=2, rebuild_threshold=0.1
+    ).fit(data)
+    rows = {i: data[i] for i in range(50)}
+    for i in range(40):
+        vector = rng.normal(size=DIM)
+        rows[index.insert(vector)] = vector
+        if i % 5 == 0:
+            live = sorted(rows)
+            victim = live[int(rng.integers(len(live)))]
+            index.delete(victim)
+            del rows[victim]
+    assert index.rebuilds >= 3
+    q = rng.normal(size=DIM)
+    ids, dists = index.query(q, k=5, num_candidates=200)
+    # exact reference over the mirrored live set
+    handles = np.array(sorted(rows), dtype=np.int64)
+    ref = np.array([np.linalg.norm(rows[h] - q) for h in handles])
+    order = np.lexsort((handles, ref))[:5]
+    assert np.array_equal(ids, handles[order])
+    np.testing.assert_allclose(dists, ref[order], rtol=1e-12)
+
+
+def test_delete_stale_handle_raises_after_rebuild():
+    """Deleting a handle twice must raise even if a rebuild cleared the
+    tombstone set in between (liveness, not just tombstones)."""
+    rng = np.random.default_rng(40)
+    index = DynamicLCCSLSH(
+        dim=DIM, m=8, w=4.0, seed=2, rebuild_threshold=1.0
+    ).fit(rng.normal(size=(10, DIM)))
+    for handle in range(6):  # dead > indexed // 2 forces a rebuild
+        index.delete(handle)
+    assert index.rebuilds == 2  # fit + tombstone-triggered
+    assert index._state.dead == set()
+    before = index.live_count
+    with pytest.raises(KeyError, match="already deleted"):
+        index.delete(3)
+    assert index.live_count == before  # no silent corruption
+    index.delete(7)  # genuinely live handles still delete fine
+    assert index.live_count == before - 1
