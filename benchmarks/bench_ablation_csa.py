@@ -19,7 +19,7 @@ from repro import LCCSLSH, MPLCCSLSH, NaiveCSA
 from repro.core import CircularShiftArray
 from repro.eval import banner, format_table
 
-from conftest import BENCH_N, get_bundle, suggest_w
+from conftest import get_bundle, suggest_w
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,271 @@
+"""Durability: fsync cost, recovery time, replica read scaling.
+
+Measures, for ``DynamicLCCSLSH`` under a synthetic Euclidean workload:
+
+1. **Write throughput vs fsync policy** — inserts/s through
+   ``DurableIndex`` with ``fsync`` in ``off`` / ``interval`` / ``always``
+   against the un-logged baseline.  ``always`` pays one ``fsync(2)`` per
+   acknowledged write (the price of zero-loss durability); ``interval``
+   bounds the loss window instead and should sit near ``off``.
+2. **Recovery time vs WAL length** — ``recover()`` wall time replaying
+   logs of growing op counts, with and without a snapshot covering most
+   of the log.  Snapshot + suffix replay should be roughly flat while
+   full-log replay grows with N.
+3. **Replica read QPS scaling** — a fixed 4-thread client pool reading
+   through a ``ReplicaSet`` of 1/2/4 replicas (caught up, round-robin).
+   On a 1-core container the curve is flat (replica parallelism needs
+   cores); the numbers still show the routing layer's overhead.
+
+Writes ``benchmarks/results/bench_durability.json`` and ``.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--n 4000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import IndexSpec  # noqa: E402
+from repro.serve import (  # noqa: E402
+    DurableIndex,
+    ReplicaSet,
+    SnapshotManager,
+    recover,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DIM = 32
+KWARGS = {"num_candidates": 200}
+
+
+def make_spec(seed: int = 0) -> IndexSpec:
+    return IndexSpec(
+        "DynamicLCCSLSH", dim=DIM, m=32, w=4.0, seed=seed,
+        rebuild_threshold=0.5,
+    )
+
+
+def bench_fsync(n_base: int, n_writes: int, rng) -> dict:
+    data = rng.normal(size=(n_base, DIM))
+    vectors = rng.normal(size=(n_writes, DIM))
+    out = {"writes": n_writes}
+
+    index = make_spec().build()
+    index.fit(data)
+    start = time.perf_counter()
+    for vec in vectors:
+        index.insert(vec)
+    out["unlogged_writes_per_s"] = n_writes / (time.perf_counter() - start)
+
+    for policy in ("off", "interval", "always"):
+        tmp = tempfile.mkdtemp(prefix="bench-wal-")
+        try:
+            di = DurableIndex(
+                make_spec().build(), os.path.join(tmp, "wal"), fsync=policy
+            )
+            di.fit(data)
+            start = time.perf_counter()
+            for vec in vectors:
+                di.insert(vec)
+            elapsed = time.perf_counter() - start
+            out[f"{policy}_writes_per_s"] = n_writes / elapsed
+            out[f"{policy}_syncs"] = di.wal.syncs
+            di.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def bench_recovery(n_base: int, lengths, rng) -> list:
+    rows = []
+    for n_ops in lengths:
+        tmp = tempfile.mkdtemp(prefix="bench-recover-")
+        try:
+            wal_dir = os.path.join(tmp, "wal")
+            spec = make_spec()
+            di = DurableIndex(spec.build(), wal_dir, fsync="off", spec=spec)
+            di.fit(rng.normal(size=(n_base, DIM)))
+            for _ in range(n_ops):
+                di.insert(rng.normal(size=DIM))
+            di.close()
+
+            start = time.perf_counter()
+            result = recover(wal_dir)
+            full_s = time.perf_counter() - start
+            assert result.replayed == n_ops + 1
+
+            # Snapshot covering ~90% of the log: suffix replay only.
+            snaps = SnapshotManager(wal_dir, keep=1)
+            cut = int(0.9 * (n_ops + 1))
+            partial = spec.build()
+            from repro.serve.durability.wal import iter_ops, replay
+
+            replay(partial, (op for op in iter_ops(wal_dir) if op[0] < cut))
+            snaps.take(partial, cut)
+            start = time.perf_counter()
+            result = recover(wal_dir)
+            snap_s = time.perf_counter() - start
+            assert result.snapshot_seq == cut
+            rows.append(
+                {
+                    "ops": n_ops + 1,
+                    "wal_bytes": sum(
+                        os.path.getsize(os.path.join(wal_dir, f))
+                        for f in os.listdir(wal_dir)
+                        if f.startswith("wal-")
+                    ),
+                    "full_replay_s": full_s,
+                    "snapshot_replay_s": snap_s,
+                }
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return rows
+
+
+def bench_replicas(n_base: int, n_queries: int, replica_counts, rng) -> list:
+    data = rng.normal(size=(n_base, DIM))
+    queries = rng.normal(size=(n_queries, DIM))
+    rows = []
+    for num in replica_counts:
+        tmp = tempfile.mkdtemp(prefix="bench-replica-")
+        try:
+            spec = make_spec()
+            primary = DurableIndex(
+                spec.build(), os.path.join(tmp, "wal"), fsync="off", spec=spec
+            )
+            primary.fit(data)
+            with ReplicaSet(primary, num_replicas=num) as rs:
+                rs.catch_up_all()
+
+                def one(q):
+                    return rs.query(q, k=10, **KWARGS)
+
+                for q in queries[:10]:
+                    one(q)  # warm-up
+                start = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    list(pool.map(one, queries))
+                elapsed = time.perf_counter() - start
+            primary.close()
+            rows.append(
+                {
+                    "replicas": num,
+                    "client_threads": 4,
+                    "qps": n_queries / elapsed,
+                }
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=4000)
+    parser.add_argument("--writes", type=int, default=1500)
+    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+
+    fsync = bench_fsync(args.n, args.writes, rng)
+    recovery = bench_recovery(
+        args.n // 4, (500, 2000, 6000), rng
+    )
+    replicas = bench_replicas(args.n, args.queries, (1, 2, 4), rng)
+
+    payload = {
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "n": args.n,
+            "dim": DIM,
+        },
+        "fsync": fsync,
+        "recovery": recovery,
+        "replicas": replicas,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "bench_durability.json")
+    with open(json_path, "w") as f:
+        json.dump(payload, f, indent=2)
+
+    md_path = os.path.join(RESULTS_DIR, "bench_durability.md")
+    with open(md_path, "w") as f:
+        f.write("# Durability (WAL + snapshots + replicas)\n\n")
+        f.write(
+            f"Workload: n={args.n}, d={DIM}, m=32, "
+            f"{args.writes} writes, {args.queries} queries, k=10; "
+            f"environment: {os.cpu_count()} CPU core(s), Python "
+            f"{platform.python_version()}, numpy {np.__version__}.\n\n"
+        )
+        f.write("## Write throughput vs fsync policy\n\n")
+        f.write("| path | writes/s |\n|---|---|\n")
+        f.write(
+            f"| un-logged baseline | {fsync['unlogged_writes_per_s']:.0f} |\n"
+        )
+        for policy in ("off", "interval", "always"):
+            f.write(
+                f"| WAL fsync={policy} | "
+                f"{fsync[f'{policy}_writes_per_s']:.0f} |\n"
+            )
+        ratio = (
+            fsync["always_writes_per_s"] / fsync["unlogged_writes_per_s"]
+        )
+        f.write(
+            f"\n`always` pays one fsync per acknowledged write "
+            f"({fsync['always_syncs']} syncs) and lands at "
+            f"{ratio * 100:.0f}% of the un-logged rate; `interval` "
+            f"({fsync['interval_syncs']} syncs) bounds the loss window "
+            "at near-`off` throughput.\n\n"
+        )
+        f.write("## Recovery time vs WAL length\n\n")
+        f.write(
+            "| ops in log | WAL bytes | full replay | snapshot+10% replay |\n"
+            "|---|---|---|---|\n"
+        )
+        for row in recovery:
+            f.write(
+                f"| {row['ops']} | {row['wal_bytes']} | "
+                f"{row['full_replay_s'] * 1e3:.0f} ms | "
+                f"{row['snapshot_replay_s'] * 1e3:.0f} ms |\n"
+            )
+        f.write(
+            "\nFull replay grows with the log; restoring the snapshot and "
+            "replaying only the ~10% suffix cuts recovery by ~2-3x (the "
+            "suffix replay still pays index rebuilds, which grow with "
+            "index size).\n\n"
+        )
+        f.write("## Replica read QPS (4 client threads)\n\n")
+        f.write("| replicas | QPS |\n|---|---|\n")
+        for row in replicas:
+            f.write(f"| {row['replicas']} | {row['qps']:.0f} |\n")
+        f.write(
+            f"\nThis container has {os.cpu_count()} CPU core(s); replica "
+            "read scaling requires >= 2 cores (each replica answers under "
+            "its own lock on its own copy — parallelism is real once "
+            "cores exist). On 1 core the table shows routing overhead "
+            "stays low as replicas are added.\n"
+        )
+    print(f"wrote {json_path}\nwrote {md_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from repro.eval import (
     time_at_recall,
 )
 
-from conftest import DATASETS, frontier_series, get_bundle, suggest_w
+from conftest import DATASETS, get_bundle, suggest_w
 from figures import EUCLIDEAN_METHODS, run_all_sweeps
 
 

@@ -10,7 +10,6 @@ candidate budgets, time-recall frontier per method.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LCCSLSH
 from repro.baselines import LSBForest, LSHForest, SKLSH

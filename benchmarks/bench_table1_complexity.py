@@ -11,7 +11,6 @@ Two parts:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import LCCSLSH
 from repro.data import compute_ground_truth, load_dataset

@@ -9,7 +9,6 @@ frontier both schemes achieve.
 Run:  python examples/memory_budget_tuning.py
 """
 
-import numpy as np
 
 from repro import LCCSLSH, MPLCCSLSH
 from repro.data import compute_ground_truth, load_dataset

@@ -8,9 +8,17 @@ Subcommands:
 * ``build`` — fit an index (optionally sharded) and save it as a
   reusable bundle directory.
 * ``query`` — load a saved bundle and evaluate it on a query workload.
+* ``inspect`` — print a bundle's manifest and array shapes/sizes
+  without loading (or unpickling) any payload.
 * ``serve`` — load a bundle behind :class:`repro.serve.ANNService` and
   answer JSON-lines requests from stdin (queries, inserts, deletes,
   stats) with ``--threads`` concurrent clients and a result cache.
+  With ``--wal-dir`` every write is write-ahead-logged (and
+  periodically snapshotted via ``--snapshot-every``) so the served
+  state survives a crash; ``--replicas N`` serves reads from N
+  log-shipping replicas instead of the primary.
+* ``recover`` — rebuild the acknowledged index state from a WAL
+  directory (snapshot + log replay) and optionally save it as a bundle.
 * ``theory`` — collision probabilities and Theorem 5.1's lambda for a
   parameter setting.
 
@@ -22,8 +30,12 @@ Examples::
     python -m repro.cli build --dataset sift --n 20000 --method lccs \\
         --shards 4 --out sift.bundle
     python -m repro.cli query sift.bundle --queries 100 --k 10 --batch
+    python -m repro.cli inspect sift.bundle
     echo '{"query": [0.1, ...], "k": 5}' | \\
         python -m repro.cli serve sift.bundle --threads 4 --cache-size 1024
+    python -m repro.cli serve sift.bundle \\
+        --wal-dir sift.wal --snapshot-every 500 --replicas 2
+    python -m repro.cli recover sift.wal --out recovered.bundle
     python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
 """
 
@@ -331,6 +343,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     waiting on a response that is already computed.  A write (or stats)
     request first drains every pending query, preserving the stream's
     serial read/write semantics.
+
+    With ``--wal-dir`` the index is wrapped in a
+    :class:`~repro.serve.durability.DurableIndex`: every accepted write
+    is on disk before it is acknowledged (fsync per ``--fsync``), a
+    baseline snapshot captures the bundle's state, and further
+    snapshots are taken every ``--snapshot-every`` writes.  If the WAL
+    directory already holds state from a previous run, serving resumes
+    from its *recovered* state (the bundle only provides defaults).
+    With ``--replicas N`` queries are answered by N log-shipping
+    replicas (round-robin; a query request may carry ``min_version`` to
+    read its own writes — write responses include ``seq``).
     """
     import json
     import queue
@@ -338,13 +361,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from concurrent.futures import ThreadPoolExecutor
 
     from repro.serve import BundleError, load_index, read_manifest
+    from repro.serve.durability import (
+        DurableIndex,
+        RecoveryError,
+        ReplicaSet,
+        SnapshotManager,
+        list_snapshots,
+        recover,
+    )
+    from repro.serve.durability.wal import list_segments
     from repro.serve.service import ANNService
 
+    # Manifest first: it supplies the default query kwargs either way,
+    # and when a WAL directory already holds recovered state the bundle
+    # payload is never needed — skip the (possibly huge) load entirely.
     try:
         manifest = read_manifest(args.bundle)
-        index = load_index(args.bundle)
     except BundleError as exc:
         print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+
+    replica_set = None
+    index = None
+    if args.wal_dir:
+        import os
+
+        has_state = bool(
+            os.path.isdir(args.wal_dir)
+            and (list_segments(args.wal_dir) or list_snapshots(args.wal_dir))
+        )
+        if has_state:
+            # A previous serve run left durable state: it, not the
+            # bundle, is the acknowledged truth.
+            try:
+                result = recover(args.wal_dir)
+            except RecoveryError as exc:
+                print(f"cannot recover WAL state: {exc}", file=sys.stderr)
+                return 2
+            index = result.index
+            print(
+                f"recovered WAL state: seq={result.applied_seq} "
+                f"(snapshot={result.snapshot_seq}, "
+                f"replayed={result.replayed} records)",
+                file=sys.stderr,
+            )
+    if index is None:
+        try:
+            index = load_index(args.bundle)
+        except BundleError as exc:
+            print(f"cannot load bundle: {exc}", file=sys.stderr)
+            return 2
+    if args.wal_dir:
+        snapshots = SnapshotManager(
+            args.wal_dir,
+            keep=args.snapshot_keep,
+            every_ops=args.snapshot_every if args.snapshot_every > 0 else None,
+        )
+        index = DurableIndex(
+            index, args.wal_dir, fsync=args.fsync, snapshots=snapshots
+        )
+        if args.replicas > 0:
+            replica_set = ReplicaSet(index, num_replicas=args.replicas)
+            replica_set.start_tailing(args.tail_interval_ms / 1e3)
+    elif args.replicas > 0:
+        print("--replicas requires --wal-dir (replicas tail the WAL)",
+              file=sys.stderr)
         return 2
     default_kwargs = dict(manifest.get("extra", {}).get("query_kwargs", {}))
     try:
@@ -358,8 +439,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             q = np.asarray(payload.pop("query"), dtype=np.float64)
             k = int(payload.pop("k", args.k))
+            min_version = payload.pop("min_version", None)
             kwargs = {**default_kwargs, **payload}
-            ids, dists = service.query(q, k=k, **kwargs)
+            if replica_set is not None:
+                ids, dists = replica_set.query(
+                    q, k=k,
+                    min_version=None if min_version is None else int(min_version),
+                    **kwargs,
+                )
+            else:
+                ids, dists = service.query(q, k=k, **kwargs)
             return {"ids": ids.tolist(), "dists": dists.tolist()}
         except Exception as exc:  # keep serving after a bad request
             return {"error": f"{type(exc).__name__}: {exc}"}
@@ -425,12 +514,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         handle = service.insert(vector)
                         response = {"handle": handle,
                                     "version": service.version}
+                        if args.wal_dir:
+                            response["seq"] = index.applied_seq
                     elif "delete" in request:
                         service.delete(int(request["delete"]))
                         response = {"deleted": int(request["delete"]),
                                     "version": service.version}
+                        if args.wal_dir:
+                            response["seq"] = index.applied_seq
                     elif "stats" in request:
-                        response = {"stats": service.stats()}
+                        stats = service.stats()
+                        if replica_set is not None:
+                            stats.update(replica_set.stats())
+                        response = {"stats": stats}
                     else:
                         response = {
                             "error": "unknown request (want query/insert/"
@@ -446,7 +542,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             printer_thread.join()
             if source is not sys.stdin:
                 source.close()
+    if replica_set is not None:
+        replica_set.close()
+    if args.wal_dir:
+        index.close()  # flush + fsync the WAL
+        print(
+            f"WAL at {args.wal_dir}: seq={index.applied_seq}",
+            file=sys.stderr,
+        )
     print(f"served {emitted} responses", file=sys.stderr)
+    return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Print a bundle's manifest and array inventory without loading it."""
+    import json
+
+    from repro.eval import format_table
+    from repro.serve import BundleError
+    from repro.serve.persistence import bundle_summary
+
+    try:
+        summary = bundle_summary(args.bundle)
+    except BundleError as exc:
+        print(f"cannot inspect bundle: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+        return 0
+    rows = [
+        ("class", summary["class"]),
+        ("serializer", summary["serializer"]),
+        ("format_version", summary["format_version"]),
+        ("library_version", summary["library_version"]),
+        ("dim", summary["dim"]),
+        ("metric", summary["metric"]),
+        ("seed", summary["seed"]),
+        ("fitted", summary["fitted"]),
+        ("build_time", f"{summary['build_time']:.3f}s"
+         if summary["build_time"] is not None else "-"),
+    ]
+    if summary["shards"] is not None:
+        rows.append(("shards", summary["shards"]))
+    for key, val in (summary["extra"] or {}).items():
+        rows.append((f"extra.{key}", val))
+    print(f"bundle: {summary['path']}\n")
+    print(format_table(("field", "value"), rows))
+    array_rows = [
+        (
+            a["name"],
+            "x".join(str(s) for s in a["shape"]) or "scalar",
+            a["dtype"],
+            _fmt_bytes(a["bytes"]),
+            _fmt_bytes(a["stored_bytes"]),
+        )
+        for a in summary["arrays"]
+    ]
+    print()
+    print(format_table(
+        ("array", "shape", "dtype", "bytes", "stored"), array_rows
+    ))
+    print(
+        f"\n{len(summary['arrays'])} arrays, "
+        f"{_fmt_bytes(summary['total_bytes'])} in memory, "
+        f"{_fmt_bytes(summary['total_stored_bytes'])} on disk"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild acknowledged state from a WAL directory; optionally save."""
+    from repro.serve import save_index
+    from repro.serve.durability import RecoveryError, recover
+
+    try:
+        result = recover(args.wal_dir)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 2
+    index = result.index
+    source = (
+        "full-log replay"
+        if result.snapshot_seq is None
+        else f"snapshot at seq {result.snapshot_seq}"
+    )
+    print(
+        f"recovered {index.name} from {args.wal_dir}\n"
+        f"  source: {source} + {result.replayed} replayed records\n"
+        f"  applied_seq: {result.applied_seq}\n"
+        f"  n: {index.n}"
+    )
+    live = getattr(index, "live_count", None)
+    if live is not None:
+        print(f"  live_count: {live}")
+    for path, error in result.corrupt:
+        print(f"  skipped corrupt snapshot {path}: {error}", file=sys.stderr)
+    if args.out:
+        save_index(index, args.out, extra={"wal_seq": int(result.applied_seq)})
+        print(f"saved recovered bundle to {args.out}")
     return 0
 
 
@@ -590,6 +791,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
+        "inspect",
+        help="print a bundle's manifest and array inventory without "
+        "loading it",
+    )
+    p.add_argument("bundle", help="bundle directory to describe")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON instead of tables",
+    )
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
         "serve", help="serve a bundle: JSON-lines requests on stdin"
     )
     p.add_argument("bundle", help="bundle directory written by `build`")
@@ -614,7 +827,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", default=None,
         help="read JSON-lines requests from this file instead of stdin",
     )
+    p.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead-log every write here (and recover from it on "
+        "restart); enables crash durability",
+    )
+    p.add_argument(
+        "--fsync", choices=("always", "interval", "off"), default="always",
+        help="WAL fsync policy: per-write, time-bounded, or OS-decided",
+    )
+    p.add_argument(
+        "--snapshot-every", type=int, default=500,
+        help="checkpoint the index every N writes (0 disables periodic "
+        "snapshots; a baseline snapshot is always taken)",
+    )
+    p.add_argument(
+        "--snapshot-keep", type=int, default=3,
+        help="how many snapshots to retain",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=0,
+        help="serve queries from this many log-shipping read replicas "
+        "(requires --wal-dir; write responses carry a 'seq' usable as "
+        "min_version for read-your-writes)",
+    )
+    p.add_argument(
+        "--tail-interval-ms", type=float, default=50.0,
+        help="how often replicas poll the WAL for new records",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild acknowledged state from a WAL directory "
+        "(snapshot + log replay)",
+    )
+    p.add_argument("wal_dir", help="WAL directory written by a durable serve")
+    p.add_argument(
+        "--out", default=None,
+        help="save the recovered index as a bundle directory",
+    )
+    p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("profile", help="per-phase query time breakdown")
     p.add_argument("--dataset", default="sift")

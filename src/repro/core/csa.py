@@ -555,7 +555,7 @@ class CircularShiftArray:
                     )
                 )
             return out
-        sh_pos = 0
+        # packed-key layout: pos occupies the low bits_pos bits
         sh_shift = bits_pos
         sh_sid = sh_shift + bits_shift
         sh_len = sh_sid + bits_sid

@@ -433,6 +433,36 @@ class DynamicLCCSLSH(ANNIndex):
         index.rebuilds = int(state["rebuilds"])
         return index
 
+    # ------------------------------------------------------------------
+    # Replayable op records (consumed by repro.serve.durability)
+    # ------------------------------------------------------------------
+
+    def apply_op(self, op) -> Optional[int]:
+        """Apply one replayable op record; returns the insert handle.
+
+        ``op`` is a ``(kind, payload)`` pair — ``("fit", data)``,
+        ``("insert", vector)`` or ``("delete", handle)`` — the shape the
+        write-ahead log decodes records into.  Because handles are
+        assigned deterministically in op order, replaying a log of these
+        records on a fresh index reproduces the original state exactly.
+        A ``delete`` that raises ``KeyError`` is applied as a no-op: the
+        live call that logged it also raised without changing state, so
+        replayed and acknowledged state stay identical.
+        """
+        kind, payload = op
+        if kind == "fit":
+            self.fit(payload)
+            return None
+        if kind == "insert":
+            return self.insert(payload)
+        if kind == "delete":
+            try:
+                self.delete(int(payload))
+            except KeyError:
+                pass
+            return None
+        raise ValueError(f"unknown op kind {kind!r}")
+
     def get_vector(self, handle: int) -> np.ndarray:
         """The vector behind a handle (copies; raises KeyError if unknown)."""
         if self._vectors is None or not 0 <= handle < len(self._vectors):

@@ -15,7 +15,7 @@ implementations.  They serve as the oracle for the CSA index
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

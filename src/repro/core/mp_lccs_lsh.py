@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.csa import ShiftBounds
 from repro.core.lccs_lsh import LCCSLSH
 from repro.core.perturbation import generate_perturbation_vectors
 

@@ -18,7 +18,7 @@ evaluates it under.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 import numpy as np

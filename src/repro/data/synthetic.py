@@ -14,7 +14,7 @@ fully deterministic for a given seed.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

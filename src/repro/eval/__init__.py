@@ -1,7 +1,12 @@
 """Evaluation: accuracy metrics, timed harness, grids, reporting."""
 
 from repro.eval.grid import grid, pareto_frontier, sweep, time_at_recall
-from repro.eval.harness import EvalResult, evaluate, evaluate_service
+from repro.eval.harness import (
+    EvalResult,
+    evaluate,
+    evaluate_replicas,
+    evaluate_service,
+)
 from repro.eval.metrics import overall_ratio, recall
 from repro.eval.plotting import ascii_plot, plot_time_recall
 from repro.eval.report import banner, format_curve, format_results, format_table
@@ -11,6 +16,7 @@ __all__ = [
     "ascii_plot",
     "banner",
     "evaluate",
+    "evaluate_replicas",
     "evaluate_service",
     "format_curve",
     "format_results",

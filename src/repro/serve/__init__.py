@@ -33,10 +33,30 @@ This package turns the in-process indexes into servable artifacts:
 * :mod:`repro.serve.service` — :class:`~repro.serve.service.ANNService`
   composes all of the above and micro-batches concurrent single
   queries into one vectorised ``batch_query`` call.
+* :mod:`repro.serve.durability` — crash durability and read scaling:
+  :class:`~repro.serve.durability.DurableIndex` write-ahead-logs every
+  ``fit``/``insert``/``delete`` before applying it,
+  :class:`~repro.serve.durability.SnapshotManager` checkpoints the
+  index as WAL-position-tagged bundles,
+  :func:`~repro.serve.durability.recover` rebuilds the acknowledged
+  state (snapshot + log-suffix replay, with corrupt-snapshot
+  fallback), and :class:`~repro.serve.durability.ReplicaSet` serves
+  round-robin reads from replicas that tail the WAL.
 """
 
 from repro.serve.cache import QueryCache, query_key
 from repro.serve.concurrency import ConcurrentIndex, RWLock
+from repro.serve.durability import (
+    DurableIndex,
+    RecoveryError,
+    Replica,
+    ReplicaSet,
+    SnapshotManager,
+    StaleReadError,
+    WALError,
+    WriteAheadLog,
+    recover,
+)
 from repro.serve.persistence import (
     FORMAT_VERSION,
     BundleError,
@@ -60,12 +80,21 @@ __all__ = [
     "ANNService",
     "BundleError",
     "ConcurrentIndex",
+    "DurableIndex",
     "FORMAT_VERSION",
     "IndexSpec",
     "QueryCache",
     "RWLock",
+    "RecoveryError",
+    "Replica",
+    "ReplicaSet",
     "ShardedIndex",
+    "SnapshotManager",
+    "StaleReadError",
+    "WALError",
+    "WriteAheadLog",
     "query_key",
+    "recover",
     "export_index",
     "import_index",
     "index_names",

@@ -17,9 +17,12 @@ Two serializers share this layout:
   (``arrays.npz`` is read with ``allow_pickle=False``), bundles are
   inspectable with a text editor plus ``np.load``, and they stay
   readable across library refactors as long as the hook contract holds.
-  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan`` and
-  ``ShardedIndex`` ship native implementations.
-* ``pickle`` — the documented fallback for the remaining baselines: the
+  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan``,
+  ``ShardedIndex``, ``SKLSH``, ``LSBForest`` and ``SRS`` ship native
+  implementations.
+* ``pickle`` — the documented fallback for the remaining baselines
+  (``E2LSH``/``MultiProbeLSH``/``FALCONN``/``StaticConcatIndex``,
+  ``C2LSH``, ``QALSH``, ``LazyLSH``, ``LSHForest``, and the cascades): the
   whole index object is pickled into a single ``uint8`` array stored
   under the ``__pickle__`` key of ``arrays.npz``.  Same on-disk layout,
   same API, but the usual pickle caveats apply (trusted inputs only, and
@@ -53,6 +56,7 @@ __all__ = [
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "ARRAYS_NAME",
+    "bundle_summary",
     "export_index",
     "import_index",
     "save_index",
@@ -267,6 +271,93 @@ def read_manifest(path: str) -> dict:
     if not isinstance(manifest, dict):
         raise BundleError(f"{path}: manifest must be a JSON object")
     return manifest
+
+
+def bundle_summary(path: str) -> dict:
+    """Describe a bundle without loading (or unpickling) any arrays.
+
+    Reads the manifest plus only the *npy headers* inside ``arrays.npz``
+    (a few hundred bytes per member), so inspecting a multi-gigabyte
+    bundle is instant.  Returns::
+
+        {
+          "path", "class", "serializer", "format_version",
+          "library_version", "dim", "metric", "seed", "fitted",
+          "build_time", "shards",            # None unless sharded
+          "extra",                           # build provenance, if any
+          "arrays": [ {"name", "shape", "dtype",
+                       "bytes",              # in-memory size
+                       "stored_bytes"}, ...],  # compressed-in-zip size
+          "total_bytes", "total_stored_bytes",
+        }
+
+    Raises :class:`BundleError` for anything that is not a readable
+    bundle (the same contract as :func:`load_index`).
+    """
+    import zipfile
+
+    manifest = read_manifest(path)
+    state = manifest.get("state", {})
+    summary = {
+        "path": path,
+        "class": manifest.get("class"),
+        "serializer": manifest.get("serializer"),
+        "format_version": manifest.get("format_version"),
+        "library_version": manifest.get("library_version"),
+        "dim": manifest.get("dim"),
+        "metric": manifest.get("metric"),
+        "seed": manifest.get("seed"),
+        "fitted": manifest.get("fitted"),
+        "build_time": manifest.get("build_time"),
+        "shards": state.get("num_shards") if isinstance(state, dict) else None,
+        "extra": manifest.get("extra"),
+        "arrays": [],
+    }
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    try:
+        zf = zipfile.ZipFile(arrays_path)
+    except FileNotFoundError:
+        raise BundleError(f"{path}: missing {ARRAYS_NAME}") from None
+    except zipfile.BadZipFile as exc:
+        raise BundleError(f"{path}: corrupt {ARRAYS_NAME}: {exc}") from None
+    total = total_stored = 0
+    with zf:
+        for info in sorted(zf.infolist(), key=lambda i: i.filename):
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            try:
+                with zf.open(info) as member:
+                    version = np.lib.format.read_magic(member)
+                    if version == (1, 0):
+                        shape, _, dtype = np.lib.format.read_array_header_1_0(
+                            member
+                        )
+                    elif version == (2, 0):
+                        shape, _, dtype = np.lib.format.read_array_header_2_0(
+                            member
+                        )
+                    else:
+                        raise ValueError(f"npy format {version}")
+            except (ValueError, OSError) as exc:
+                raise BundleError(
+                    f"{path}: unreadable array {name!r}: {exc}"
+                ) from None
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            total += nbytes
+            total_stored += info.compress_size
+            summary["arrays"].append(
+                {
+                    "name": name,
+                    "shape": tuple(int(s) for s in shape),
+                    "dtype": str(dtype),
+                    "bytes": nbytes,
+                    "stored_bytes": int(info.compress_size),
+                }
+            )
+    summary["total_bytes"] = total
+    summary["total_stored_bytes"] = total_stored
+    return summary
 
 
 def load_index(path: str) -> "ANNIndex":

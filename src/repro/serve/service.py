@@ -39,13 +39,14 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 import numpy as np
 
 from repro.base import ANNIndex
 from repro.serve.cache import QueryCache, query_key
 from repro.serve.concurrency import ConcurrentIndex
+from repro.serve.durability.wal import DurableIndex
 
 __all__ = ["ANNService"]
 
@@ -111,6 +112,10 @@ class ANNService:
             raise ValueError("batch_window_ms must be >= 0")
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        # A durable wrapper under the lock layer: surface its WAL
+        # counters in stats() and make close() force its log to disk.
+        inner = self._ci.inner
+        self._durable = inner if isinstance(inner, DurableIndex) else None
         self._cache = QueryCache(cache_size) if cache_size > 0 else None
         self._window = float(batch_window_ms) / 1e3
         self._max_batch = int(max_batch_size)
@@ -237,6 +242,13 @@ class ANNService:
             out.update(
                 {f"cache_{key}": val for key, val in self._cache.stats().items()}
             )
+        if self._durable is not None:
+            out.update(
+                {
+                    f"wal_{key}": val
+                    for key, val in self._durable.wal_stats().items()
+                }
+            )
         with self._cond:
             batches, batched = self._batches, self._batched_queries
             out["batches"] = batches
@@ -246,13 +258,21 @@ class ANNService:
         return out
 
     def close(self) -> None:
-        """Stop the executor thread; pending requests still complete."""
+        """Stop the executor thread; pending requests still complete.
+
+        A :class:`~repro.serve.durability.wal.DurableIndex` under the
+        service is fsynced on the way out, so every acknowledged write
+        is durable once ``close`` returns (the wrapper itself stays
+        open — the index remains usable outside the service).
+        """
         with self._cond:
             if self._stop:
                 return
             self._stop = True
             self._cond.notify_all()
         self._executor.join()
+        if self._durable is not None:
+            self._durable.sync()
 
     def __enter__(self) -> "ANNService":
         return self

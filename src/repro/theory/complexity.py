@@ -9,9 +9,7 @@ check empirical scaling against it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict
 
 __all__ = ["ComplexityRow", "table1_rows", "lccs_m_for_alpha", "lccs_lambda_for_alpha"]
 

@@ -18,7 +18,6 @@ recall target.  The benchmark compares predicted vs measured recall
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 

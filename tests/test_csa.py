@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CircularShiftArray, brute_force_k_lccs, lccs_length, shift
-from repro.core.lccs import lcp_length
 
 
 def rotations_matrix(strings, s):

@@ -43,7 +43,6 @@ def test_shift_empty_raises():
 @settings(max_examples=50)
 def test_shift_composition(values, i):
     t = np.array(values)
-    m = len(t)
     once = shift(shift(t, i), 1)
     direct = shift(t, i + 1)
     assert once.tolist() == direct.tolist()

@@ -88,10 +88,12 @@ BUILDERS = {
     ),
 }
 
-#: indexes whose state cannot be expressed natively; they must still
-#: round-trip, just through the documented pickle fallback
+#: indexes with native (pickle-free) bundle serializers; the remaining
+#: baselines must still round-trip, just through the documented pickle
+#: fallback
 NATIVE = {
     "LCCSLSH", "MPLCCSLSH", "DynamicLCCSLSH", "LinearScan", "ShardedIndex",
+    "SKLSH", "LSBForest", "SRS",
 }
 
 
@@ -175,6 +177,59 @@ def test_dynamic_roundtrip_preserves_updates(tmp_path, workload):
     assert got[1].tolist() == want[1].tolist()
     # the loaded index keeps accepting updates with the same handles
     assert loaded.insert(rng.normal(size=DIM)) == index.insert(rng.normal(size=DIM))
+
+
+# ----------------------------------------------------------------------
+# Manifest-only inspection (CLI `inspect`)
+# ----------------------------------------------------------------------
+
+def test_bundle_summary_reads_headers_without_loading(tmp_path, workload):
+    from repro.serve.persistence import bundle_summary
+
+    data, _ = workload
+    index = ShardedIndex(
+        IndexSpec("LCCSLSH", dim=DIM, m=16, w=2.0, seed=SEED),
+        num_shards=2, parallel="serial",
+    ).fit(data)
+    path = str(tmp_path / "bundle")
+    save_index(index, path, extra={"dataset": "unit"})
+    summary = bundle_summary(path)
+    assert summary["class"] == "ShardedIndex"
+    assert summary["serializer"] == "native"
+    assert summary["shards"] == 2
+    assert summary["extra"] == {"dataset": "unit"}
+    by_name = {a["name"]: a for a in summary["arrays"]}
+    # Shard payload shapes are reported exactly, without loading them.
+    assert by_name["shard0.data"]["shape"] == (75, DIM)
+    assert by_name["shard0.data"]["dtype"] == "float64"
+    assert by_name["shard0.data"]["bytes"] == 75 * DIM * 8
+    assert summary["total_bytes"] == sum(a["bytes"] for a in summary["arrays"])
+    assert summary["total_stored_bytes"] > 0
+
+
+def test_cli_inspect_prints_manifest_and_arrays(tmp_path, workload, capsys):
+    from repro.cli import main
+
+    data, _ = workload
+    index = LCCSLSH(dim=DIM, m=16, w=2.0, seed=SEED).fit(data)
+    path = str(tmp_path / "bundle")
+    save_index(index, path)
+    assert main(["inspect", path]) == 0
+    out = capsys.readouterr().out
+    assert "LCCSLSH" in out
+    assert "hash_strings" in out
+    assert "150x16" in out  # the data payload's shape
+    # JSON mode emits the machine-readable summary.
+    assert main(["inspect", path, "--json"]) == 0
+    out = capsys.readouterr().out
+    assert '"class": "LCCSLSH"' in out
+
+
+def test_cli_inspect_bad_bundle_exit_code(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["inspect", str(tmp_path / "nope")]) == 2
+    assert "cannot inspect" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,7 @@ import pytest
 
 from repro import LCCSLSH
 from repro.core import CircularShiftArray
-from repro.eval.profiler import QueryProfile, profile_query
+from repro.eval.profiler import profile_query
 
 
 # ----------------------------------------------------------------------

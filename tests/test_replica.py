@@ -1,0 +1,186 @@
+"""Log-shipping replicas: equivalence, routing, read-your-writes.
+
+Acceptance contract: after the primary acknowledges N writes, a
+caught-up replica (``min_version=N``) returns **byte-identical** results
+to the primary for the same queries — replicas are not approximately
+fresh copies, they are the same deterministic state reached through
+snapshot restore + log replay.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import IndexSpec
+from repro.eval import evaluate_replicas
+from repro.serve import (
+    DurableIndex,
+    ReplicaSet,
+    SnapshotManager,
+    StaleReadError,
+)
+
+DIM = 8
+SPEC = IndexSpec(
+    "DynamicLCCSLSH", dim=DIM, m=8, w=4.0, seed=13, rebuild_threshold=0.3
+)
+
+
+def make_primary(tmp_path, n_writes=25, snapshots=False):
+    wal_dir = str(tmp_path / "wal")
+    snaps = (
+        SnapshotManager(wal_dir, keep=2, every_ops=10) if snapshots else None
+    )
+    primary = DurableIndex(SPEC.build(), wal_dir, spec=SPEC, snapshots=snaps)
+    rng = np.random.default_rng(1)
+    primary.fit(rng.normal(size=(30, DIM)))
+    for i in range(n_writes):
+        if i % 6 == 5:
+            try:
+                primary.delete((11 * i) % primary.n)
+            except KeyError:
+                pass
+        else:
+            primary.insert(rng.normal(size=DIM))
+    return primary
+
+
+def queries_for(n=8, seed=21):
+    return np.random.default_rng(seed).normal(size=(n, DIM))
+
+
+def assert_matches_primary(replica_set, primary, queries, k=5):
+    seq = primary.applied_seq
+    for q in queries:
+        cap = primary.n
+        ids_r, dists_r = replica_set.query(
+            q, k=k, min_version=seq, num_candidates=cap
+        )
+        ids_p, dists_p = primary.query(q, k=k, num_candidates=cap)
+        assert ids_r.tobytes() == ids_p.tobytes()
+        assert dists_r.tobytes() == dists_p.tobytes()
+
+
+@pytest.mark.parametrize("snapshots", [False, True])
+def test_caught_up_replica_is_byte_identical(tmp_path, snapshots):
+    primary = make_primary(tmp_path, snapshots=snapshots)
+    with ReplicaSet(primary, num_replicas=2) as rs:
+        assert_matches_primary(rs, primary, queries_for())
+    primary.close()
+
+
+def test_replica_catches_up_after_later_writes(tmp_path):
+    primary = make_primary(tmp_path)
+    rng = np.random.default_rng(9)
+    with ReplicaSet(primary, num_replicas=2) as rs:
+        # Writes that land *after* the replicas bootstrapped.
+        handle, seq = rs.insert(rng.normal(size=DIM))
+        assert handle == primary.n - 1
+        assert seq == primary.applied_seq
+        seq = rs.delete(handle)
+        assert_matches_primary(rs, primary, queries_for())
+        stats = rs.stats()
+        assert stats["primary_seq"] == float(primary.applied_seq)
+        assert all(
+            stats[f"replica{i}_applied_seq"] == float(seq) for i in range(2)
+        )
+    primary.close()
+
+
+def test_round_robin_routing_balances_reads(tmp_path):
+    primary = make_primary(tmp_path, n_writes=5)
+    with ReplicaSet(primary, num_replicas=3) as rs:
+        queries = queries_for(n=9)
+        for q in queries:
+            rs.query(q, k=2, num_candidates=primary.n)
+        reads = [replica.reads for replica in rs.replicas]
+        assert reads == [3, 3, 3]
+    primary.close()
+
+
+def test_stale_read_without_min_version_serves_old_state(tmp_path):
+    primary = make_primary(tmp_path, n_writes=0)
+    rng = np.random.default_rng(4)
+    with ReplicaSet(primary, num_replicas=1) as rs:
+        boot_seq = rs.replicas[0].applied_seq
+        vec = rng.normal(size=DIM)
+        handle, seq = rs.insert(vec)
+        # Without min_version the replica answers from its stale state...
+        ids, _ = rs.query(vec, k=1, num_candidates=primary.n)
+        assert rs.replicas[0].applied_seq == boot_seq
+        assert handle not in ids.tolist()
+        # ...with min_version it catches up and reads its own write.
+        ids, dists = rs.query(vec, k=1, min_version=seq,
+                              num_candidates=primary.n)
+        assert ids.tolist() == [handle]
+        assert dists[0] == 0.0
+    primary.close()
+
+
+def test_min_version_beyond_log_raises(tmp_path):
+    primary = make_primary(tmp_path, n_writes=3)
+    with ReplicaSet(primary, num_replicas=1) as rs:
+        with pytest.raises(StaleReadError, match="min_version"):
+            rs.query(
+                queries_for(1)[0], k=1,
+                min_version=primary.applied_seq + 10,
+            )
+    primary.close()
+
+
+@pytest.mark.timeout(60)
+def test_background_tailing_converges(tmp_path):
+    primary = make_primary(tmp_path, n_writes=2)
+    rng = np.random.default_rng(8)
+    with ReplicaSet(primary, num_replicas=2) as rs:
+        rs.start_tailing(interval_s=0.01)
+        target = None
+        for _ in range(10):
+            primary.insert(rng.normal(size=DIM))
+        target = primary.applied_seq
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if all(r.applied_seq >= target for r in rs.replicas):
+                break
+            time.sleep(0.01)
+        assert all(r.applied_seq >= target for r in rs.replicas)
+        rs.stop_tailing()
+    primary.close()
+
+
+def test_replica_set_validates_arguments(tmp_path):
+    primary = make_primary(tmp_path, n_writes=0)
+    with pytest.raises(ValueError, match="num_replicas"):
+        ReplicaSet(primary, num_replicas=0)
+    primary.close()
+    from repro import DynamicLCCSLSH
+
+    with pytest.raises(TypeError, match="DurableIndex"):
+        ReplicaSet(DynamicLCCSLSH(dim=DIM, m=8, w=4.0), num_replicas=1)
+
+
+def test_evaluate_replicas_matches_primary_accuracy(tmp_path):
+    from repro.data import compute_ground_truth
+    from repro.eval import evaluate
+
+    primary = make_primary(tmp_path, n_writes=0)
+    queries = queries_for(n=10)
+    data = primary.inner._vectors
+    gt = compute_ground_truth(data, queries, k=5, metric="euclidean")
+    with ReplicaSet(primary, num_replicas=2) as rs:
+        result = evaluate_replicas(
+            rs, queries, gt, k=5,
+            query_kwargs={"num_candidates": primary.n}, threads=2,
+        )
+        direct = evaluate(
+            primary.inner, data, queries, gt, k=5,
+            query_kwargs={"num_candidates": primary.n},
+        )
+    assert result.recall == direct.recall
+    assert result.ratio == direct.ratio
+    assert result.stats["replicas"] == 2.0
+    assert result.stats["replica0_reads"] + result.stats["replica1_reads"] == 10.0
+    primary.close()

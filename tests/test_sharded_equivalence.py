@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import DynamicLCCSLSH, LCCSLSH
 from repro.baselines import LinearScan
 from repro.serve import IndexSpec, ShardedIndex, load_index, save_index
 

@@ -1,0 +1,117 @@
+"""Hypothesis property: sharded round-robin routing == unsharded reference.
+
+``ShardedIndex`` routes ``insert`` round-robin and ``delete`` by handle
+lookup while promising the *unsharded* handle contract: the i-th insert
+returns handle ``n + i`` and every handle keeps referring to the same
+vector, across arbitrary interleavings of inserts and deletes (including
+deletes of fitted rows, of fresh inserts, and of already-dead handles,
+which must raise ``KeyError`` exactly like the reference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DynamicLCCSLSH, IndexSpec, ShardedIndex
+
+DIM = 4
+
+
+def vector_for(counter: int) -> np.ndarray:
+    """A distinct, deterministic vector per insertion counter."""
+    base = np.arange(1.0, DIM + 1.0)
+    return base * (counter + 1) + 0.25 * ((counter % 7) - 3)
+
+
+def build_pair(n_fit: int, num_shards: int):
+    data = np.stack([vector_for(-i - 1) for i in range(n_fit)])
+    spec = IndexSpec(
+        "DynamicLCCSLSH", dim=DIM, m=4, w=8.0, seed=0, rebuild_threshold=0.25
+    )
+    sharded = ShardedIndex(
+        spec, num_shards=num_shards, parallel="serial"
+    ).fit(data)
+    reference = DynamicLCCSLSH(
+        dim=DIM, m=4, w=8.0, seed=0, rebuild_threshold=0.25
+    ).fit(data)
+    return sharded, reference
+
+
+#: an op is ("insert",) or ("delete", selector); the selector is reduced
+#: modulo the current handle space so deletes hit fitted rows, fresh
+#: inserts, and (on repeats) already-dead handles
+ops_strategy = st.lists(
+    st.one_of(
+        st.just(("insert",)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10_000)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_fit=st.integers(min_value=2, max_value=10),
+    num_shards=st.integers(min_value=2, max_value=4),
+    ops=ops_strategy,
+)
+def test_routing_preserves_handle_to_vector_mapping(n_fit, num_shards, ops):
+    if num_shards > n_fit:
+        num_shards = n_fit
+    sharded, reference = build_pair(n_fit, num_shards)
+    inserted = 0
+    live = set(range(n_fit))
+    for op in ops:
+        if op[0] == "insert":
+            vec = vector_for(inserted)
+            inserted += 1
+            got = sharded.insert(vec)
+            want = reference.insert(vec)
+            assert got == want  # identical handle sequences
+            live.add(want)
+        else:
+            target = op[1] % (n_fit + inserted)
+            sharded_err = reference_err = None
+            try:
+                sharded.delete(target)
+            except KeyError as exc:
+                sharded_err = str(exc)
+            try:
+                reference.delete(target)
+            except KeyError as exc:
+                reference_err = str(exc)
+            # Both fail or both succeed (messages may differ in detail).
+            assert (sharded_err is None) == (reference_err is None)
+            live.discard(target)
+
+    # Handle -> vector mapping survives every interleaving: each live
+    # handle resolves (through shard-local translation) to the same
+    # vector the reference holds for it.
+    for handle in sorted(live):
+        shard, local = sharded._locate(handle)
+        got = sharded.shards[shard].get_vector(local)
+        want = reference.get_vector(handle)
+        assert got.tobytes() == want.tobytes()
+
+    # Dead handles are unknown on both sides.
+    for handle in sorted(set(range(n_fit + inserted)) - live):
+        with pytest.raises(KeyError):
+            sharded.delete(handle)
+        with pytest.raises(KeyError):
+            reference.delete(handle)
+
+    # Candidate-saturated queries agree on the merged live set.
+    if live:
+        q = vector_for(3)
+        cap = max(sharded.n, 1)
+        ids_s, dists_s = sharded.query(q, k=min(5, len(live)),
+                                       num_candidates=cap)
+        ids_r, dists_r = reference.query(q, k=min(5, len(live)),
+                                         num_candidates=cap)
+        assert ids_s.tolist() == ids_r.tolist()
+        assert dists_s.tolist() == dists_r.tolist()
+    sharded.close()
