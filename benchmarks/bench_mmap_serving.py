@@ -1,0 +1,295 @@
+"""Zero-copy storage engine: eager vs mmap bundle serving.
+
+Measures, on a >= 100k-point LCCS-LSH bundle (format v2, one raw
+``.npy`` per array):
+
+1. **Cold-open latency** — ``load_index(path)`` (eager: every array is
+   read and copied into private RAM, the historical behaviour) vs
+   ``load_index(path, mmap=True)`` (arrays open as read-only memory
+   maps; nothing is read until queries touch pages).  The acceptance
+   bar is mmap >= 10x faster.
+2. **Time-to-first-result** — cold open plus one k=10 query, the
+   latency a restarted server adds to its first request.
+3. **Per-process memory** — N forked worker processes each open the
+   same bundle and answer queries; reports, per worker, the growth in
+   *private* memory (USS: ``Private_Clean + Private_Dirty`` from
+   ``/proc/self/smaps_rollup`` — pages no other process can share) and
+   in VmRSS.  Eager workers each materialise a private copy of the
+   index, so their USS grows by the full bundle size; mmap workers'
+   arrays are clean file-backed pages the kernel keeps exactly once
+   for all of them, so their USS growth is only query scratch.  (VmRSS
+   alone is misleading here: it counts the shared resident pages in
+   every mapping process.)
+4. **Warm QPS** — batched query throughput after warm-up, eager vs
+   mmap, demonstrating that serving from maps costs no steady-state
+   throughput (pages are resident either way once touched).
+
+Writes ``benchmarks/results/bench_mmap_serving.json`` and ``.md``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mmap_serving.py [--n 120000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import LCCSLSH  # noqa: E402
+from repro.serve import load_index, save_index  # noqa: E402
+from repro.serve.persistence import bundle_summary  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DIM = 32
+M = 32
+K = 10
+QUERY_KWARGS = {"num_candidates": 100}
+
+
+def rss_bytes() -> int:
+    """This process's resident set size (Linux /proc; 0 elsewhere)."""
+    try:
+        with open("/proc/self/status", "r") as f:
+            for line in f:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def uss_bytes() -> int:
+    """Private (unshared) memory: pages that exist once per process."""
+    total = 0
+    try:
+        with open("/proc/self/smaps_rollup", "r") as f:
+            for line in f:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    total += int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return total
+
+
+def bench_cold_open(path: str, repeats: int) -> dict:
+    eager_s, mmap_s = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        load_index(path)
+        eager_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        load_index(path, mmap=True)
+        mmap_s.append(time.perf_counter() - start)
+    return {
+        "eager_open_s": float(np.median(eager_s)),
+        "mmap_open_s": float(np.median(mmap_s)),
+        "speedup": float(np.median(eager_s) / np.median(mmap_s)),
+    }
+
+
+def bench_first_result(path: str, query: np.ndarray, repeats: int) -> dict:
+    out = {}
+    for label, mmap in (("eager", False), ("mmap", True)):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            index = load_index(path, mmap=mmap)
+            index.query(query, k=K, **QUERY_KWARGS)
+            times.append(time.perf_counter() - start)
+        out[f"{label}_first_result_s"] = float(np.median(times))
+    return out
+
+
+def _worker(path: str, mmap: bool, queries: np.ndarray, conn) -> None:
+    """Open the bundle, answer queries, report memory growth (forked)."""
+    uss_before, rss_before = uss_bytes(), rss_bytes()
+    index = load_index(path, mmap=mmap)
+    index.batch_query(queries, k=K, **QUERY_KWARGS)
+    conn.send((uss_bytes() - uss_before, rss_bytes() - rss_before))
+    conn.close()
+
+
+def bench_worker_rss(path: str, queries: np.ndarray, workers: int) -> dict:
+    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+    out = {"workers": workers}
+    for label, mmap in (("eager", False), ("mmap", True)):
+        pipes, procs = [], []
+        for _ in range(workers):
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker, args=(path, mmap, queries, child)
+            )
+            proc.start()
+            procs.append(proc)
+            pipes.append(parent)
+        deltas = [p.recv() for p in pipes]
+        for proc in procs:
+            proc.join()
+        out[f"{label}_uss_per_worker_mb"] = float(
+            np.mean([d[0] for d in deltas]) / 2**20
+        )
+        out[f"{label}_rss_per_worker_mb"] = float(
+            np.mean([d[1] for d in deltas]) / 2**20
+        )
+    return out
+
+
+def bench_qps(path: str, queries: np.ndarray, repeats: int) -> dict:
+    out = {"batch": len(queries)}
+    for label, mmap in (("eager", False), ("mmap", True)):
+        index = load_index(path, mmap=mmap)
+        index.batch_query(queries, k=K, **QUERY_KWARGS)  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            index.batch_query(queries, k=K, **QUERY_KWARGS)
+            best = min(best, time.perf_counter() - start)
+        out[f"{label}_qps"] = float(len(queries) / best)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=120_000)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.n < 100_000:
+        print("warning: --n below the 100k acceptance floor", file=sys.stderr)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"building LCCS-LSH over n={args.n} d={DIM} m={M} ...")
+    data = rng.normal(size=(args.n, DIM))
+    queries = rng.normal(size=(args.queries, DIM))
+    index = LCCSLSH(dim=DIM, m=M, w=4.0, seed=args.seed).fit(data)
+
+    tmp = tempfile.mkdtemp(prefix="bench-mmap-")
+    try:
+        path = os.path.join(tmp, "bundle")
+        start = time.perf_counter()
+        save_index(index, path)
+        save_s = time.perf_counter() - start
+        summary = bundle_summary(path)
+        bundle_mb = summary["total_stored_bytes"] / 2**20
+        del index
+
+        # Byte-identity spot check before timing anything.
+        eager = load_index(path)
+        mapped = load_index(path, mmap=True)
+        a = eager.batch_query(queries[:20], k=K, **QUERY_KWARGS)
+        b = mapped.batch_query(queries[:20], k=K, **QUERY_KWARGS)
+        assert a[0].tolist() == b[0].tolist(), "mmap ids diverged"
+        assert a[1].tolist() == b[1].tolist(), "mmap dists diverged"
+        del eager, mapped
+
+        cold = bench_cold_open(path, args.repeats)
+        first = bench_first_result(path, queries[0], args.repeats)
+        rss = bench_worker_rss(path, queries[:50], args.workers)
+        qps = bench_qps(path, queries, args.repeats)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    payload = {
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "n": args.n,
+            "dim": DIM,
+            "m": M,
+            "bundle_mb": bundle_mb,
+            "save_s": save_s,
+        },
+        "cold_open": cold,
+        "first_result": first,
+        "worker_rss": rss,
+        "qps": qps,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "bench_mmap_serving.json")
+    with open(json_path, "w") as f:
+        json.dump(payload, f, indent=2)
+
+    md_path = os.path.join(RESULTS_DIR, "bench_mmap_serving.md")
+    with open(md_path, "w") as f:
+        f.write("# Zero-copy bundle serving (eager vs mmap)\n\n")
+        f.write(
+            f"Workload: LCCS-LSH, n={args.n}, d={DIM}, m={M}, "
+            f"bundle {bundle_mb:.0f} MB on disk (format v2); "
+            f"environment: {os.cpu_count()} CPU core(s), Python "
+            f"{platform.python_version()}, numpy {np.__version__}.\n\n"
+        )
+        f.write("## Cold open and first result\n\n")
+        f.write("| metric | eager | mmap | ratio |\n|---|---|---|---|\n")
+        f.write(
+            f"| `load_index` | {cold['eager_open_s'] * 1e3:.1f} ms | "
+            f"{cold['mmap_open_s'] * 1e3:.2f} ms | "
+            f"**{cold['speedup']:.0f}x** |\n"
+        )
+        fr_ratio = first["eager_first_result_s"] / first["mmap_first_result_s"]
+        f.write(
+            f"| load + first k={K} query | "
+            f"{first['eager_first_result_s'] * 1e3:.1f} ms | "
+            f"{first['mmap_first_result_s'] * 1e3:.1f} ms | "
+            f"{fr_ratio:.1f}x |\n\n"
+        )
+        f.write(
+            "The mmap open reads only the manifest and one npy header "
+            "per array; the eager open copies every payload byte into "
+            "private RAM before the first query can run.\n\n"
+        )
+        f.write(f"## Per-process memory ({args.workers} forked workers)\n\n")
+        f.write(
+            "| mode | private (USS) growth / worker | VmRSS growth / "
+            "worker |\n|---|---|---|\n"
+        )
+        for mode in ("eager", "mmap"):
+            f.write(
+                f"| {mode} | {rss[f'{mode}_uss_per_worker_mb']:.0f} MB | "
+                f"{rss[f'{mode}_rss_per_worker_mb']:.0f} MB |\n"
+            )
+        f.write(
+            "\nEager workers each deserialize a private copy of the "
+            "index (their USS grows by the whole bundle).  mmap "
+            "workers' arrays are clean file-backed pages the kernel "
+            "holds **once** for every process on the machine; per-"
+            "worker private memory is just query scratch.  (VmRSS "
+            "counts the shared resident pages in each process, which "
+            "is why it alone under-sells the saving: the mmap rows' "
+            "RSS is the same shared copy counted N times.)\n\n"
+        )
+        f.write(f"## Warm throughput ({args.queries}-query batches)\n\n")
+        f.write("| mode | QPS |\n|---|---|\n")
+        f.write(f"| eager | {qps['eager_qps']:.0f} |\n")
+        f.write(f"| mmap | {qps['mmap_qps']:.0f} |\n\n")
+        f.write(
+            "Once the working set is resident, serving from maps and "
+            "serving from private copies run the same kernels on the "
+            "same bytes — steady-state throughput is unchanged, and "
+            "query results are asserted byte-identical.\n"
+        )
+    print(f"wrote {json_path}\nwrote {md_path}")
+    print(
+        f"cold-open: eager {cold['eager_open_s'] * 1e3:.1f} ms, "
+        f"mmap {cold['mmap_open_s'] * 1e3:.2f} ms "
+        f"({cold['speedup']:.0f}x); acceptance floor is 10x"
+    )
+    return 0 if cold["speedup"] >= 10.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -142,29 +142,34 @@ class ANNIndex(abc.ABC):
     def save(self, path: str) -> None:
         """Persist the index (including the raw data) as a bundle at ``path``.
 
-        The bundle is a directory holding ``manifest.json`` plus
-        ``arrays.npz`` (see :mod:`repro.serve.persistence` for the
-        format).  Indexes implementing the :meth:`_export_state` /
-        :meth:`_import_state` hooks are written natively (no pickle
-        anywhere); the rest go through the documented pickle fallback
-        inside the same bundle layout.
+        The bundle is a directory holding ``manifest.json`` plus one raw
+        ``.npy`` file per array (format v2; see
+        :mod:`repro.serve.persistence`), so it can be reopened with
+        ``load(path, mmap=True)`` without reading the payload.  Indexes
+        implementing the :meth:`_export_state` / :meth:`_import_state`
+        hooks are written natively (no pickle anywhere); the rest go
+        through the documented pickle fallback inside the same bundle
+        layout.
         """
         from repro.serve.persistence import save_index
 
         save_index(self, path)
 
     @staticmethod
-    def load(path: str) -> "ANNIndex":
+    def load(path: str, mmap: bool = False) -> "ANNIndex":
         """Load an index previously written by :meth:`save`.
 
         Accepts a bundle directory (raising
         :class:`repro.serve.persistence.BundleError` on corrupt or
         wrong-version bundles) or, for backward compatibility, a legacy
-        single-file pickle.
+        single-file pickle.  With ``mmap=True`` a format-v2 bundle opens
+        as read-only memory maps — servable in milliseconds, with the
+        OS page cache holding the only copy of the arrays — and answers
+        queries byte-identically to an eager load.
         """
         from repro.serve.persistence import load_index
 
-        return load_index(path)
+        return load_index(path, mmap=mmap)
 
     def concurrent(self) -> "repro.serve.concurrency.ConcurrentIndex":
         """Wrap this index in a thread-safe reader-writer facade.

@@ -806,38 +806,97 @@ class CircularShiftArray:
             + self.next_link.nbytes
         )
 
-    def save_npz(self, path: str) -> None:
-        """Persist the CSA arrays to a compressed ``.npz`` file.
+    # ------------------------------------------------------------------
+    # Serialization: ONE codepath (`export_arrays` / `from_arrays`) used
+    # by both the bundle persistence layer (LCCSLSH._export_state nests
+    # these arrays under a ``csa.`` prefix) and the standalone npz shims
+    # below.  Loading never re-sorts: the CSA is reconstructed from its
+    # persisted arrays, which is what makes mmap-backed bundle loads
+    # O(milliseconds) instead of O(n m log m).
+    # ------------------------------------------------------------------
 
-        Unlike pickle this format is stable across library versions and
-        inspectable with plain numpy — the database-friendly option.
+    def export_arrays(self) -> dict:
+        """The CSA's complete state as named arrays.
+
+        ``doubled`` (the ``(n, 2m)`` doubled strings — its left half *is*
+        ``strings``, so the originals are not stored twice), plus
+        ``sorted_idx`` and ``next_link``.  All three are returned by
+        reference (zero-copy); callers must not mutate them.
         """
-        np.savez_compressed(
-            path,
-            strings=self.strings,
-            sorted_idx=self.sorted_idx,
-            next_link=self.next_link,
-        )
+        return {
+            "doubled": self._doubled,
+            "sorted_idx": self.sorted_idx,
+            "next_link": self.next_link,
+        }
 
     @classmethod
-    def load_npz(cls, path: str) -> "CircularShiftArray":
-        """Load a CSA written by :meth:`save_npz` without re-sorting."""
-        with np.load(path) as payload:
-            for key in ("strings", "sorted_idx", "next_link"):
-                if key not in payload:
-                    raise ValueError(f"{path} is missing array {key!r}")
-            strings = payload["strings"]
-            sorted_idx = payload["sorted_idx"]
-            next_link = payload["next_link"]
+    def from_arrays(cls, arrays, source: str = "<arrays>") -> "CircularShiftArray":
+        """Rebuild a CSA from :meth:`export_arrays` output without re-sorting.
+
+        Accepts the native layout (``doubled``/``sorted_idx``/``next_link``)
+        or the legacy npz layout (``strings``/``sorted_idx``/``next_link``).
+        Arrays are adopted by reference — read-only memory-mapped inputs
+        stay memory-mapped, and the CSA never writes to them (queries
+        only bisect).  Raises ``ValueError`` on missing arrays or
+        inconsistent shapes.
+        """
+        if "doubled" in arrays:
+            required = ("doubled", "sorted_idx", "next_link")
+        else:
+            required = ("strings", "sorted_idx", "next_link")
+        for key in required:
+            if key not in arrays:
+                raise ValueError(f"{source} is missing array {key!r}")
         obj = cls.__new__(cls)
-        obj.strings = np.ascontiguousarray(strings)
-        obj.n, obj.m = obj.strings.shape
-        if sorted_idx.shape != (obj.m, obj.n) or next_link.shape != (obj.m, obj.n):
-            raise ValueError(f"{path} has inconsistent array shapes")
-        obj._doubled = np.concatenate([obj.strings, obj.strings], axis=1)
+        if "doubled" in arrays:
+            doubled = np.asarray(arrays["doubled"])
+            if doubled.ndim != 2 or doubled.shape[1] % 2 != 0:
+                raise ValueError(f"{source} has inconsistent array shapes")
+            obj._doubled = doubled
+            obj.n, obj.m = doubled.shape[0], doubled.shape[1] // 2
+            obj.strings = doubled[:, : obj.m]  # zero-copy view
+        else:
+            obj.strings = np.ascontiguousarray(arrays["strings"])
+            if obj.strings.ndim != 2:
+                raise ValueError(f"{source} has inconsistent array shapes")
+            obj.n, obj.m = obj.strings.shape
+            obj._doubled = np.concatenate([obj.strings, obj.strings], axis=1)
+        if obj.n == 0 or obj.m == 0:
+            raise ValueError(f"{source} has inconsistent array shapes")
+        if not np.issubdtype(obj.strings.dtype, np.integer):
+            raise ValueError(f"{source}: CSA strings must be integer")
+        sorted_idx = np.asarray(arrays["sorted_idx"])
+        next_link = np.asarray(arrays["next_link"])
+        if (
+            sorted_idx.shape != (obj.m, obj.n)
+            or next_link.shape != (obj.m, obj.n)
+        ):
+            raise ValueError(f"{source} has inconsistent array shapes")
         obj.sorted_idx = sorted_idx
         obj.next_link = next_link
         return obj
+
+    def save_npz(self, path: str) -> None:
+        """Persist the CSA to a compressed ``.npz`` (back-compat shim).
+
+        Thin wrapper over :meth:`export_arrays`; unlike pickle the format
+        is stable across library versions and inspectable with plain
+        numpy.  Prefer saving the owning index as a bundle
+        (:mod:`repro.serve.persistence`), which nests the same arrays.
+        """
+        np.savez_compressed(path, **self.export_arrays())
+
+    @classmethod
+    def load_npz(cls, path: str) -> "CircularShiftArray":
+        """Load a CSA written by :meth:`save_npz` without re-sorting.
+
+        Back-compat shim over :meth:`from_arrays`; also reads the
+        pre-unification layout that stored ``strings`` instead of
+        ``doubled``.
+        """
+        with np.load(path) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+        return cls.from_arrays(arrays, source=path)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CircularShiftArray(n={self.n}, m={self.m})"

@@ -365,6 +365,16 @@ class DynamicLCCSLSH(ANNIndex):
     # array prefix.  Only the live prefix is written, so the loaded
     # store is exactly as large as its contents (growth restarts from
     # there).
+    #
+    # Loaded arrays are adopted by reference and treated as immutable,
+    # so an index loaded with ``load_index(path, mmap=True)`` serves
+    # from read-only memory maps.  Mutation promotes copy-on-write:
+    # the first ``insert`` finds the store full (the saved prefix has
+    # no slack) and grows it into a fresh writable array, ``delete``
+    # only touches the epoch's Python tombstone set, and a rebuild
+    # gathers the live rows into new arrays before building the new
+    # CSA — the mapped originals are never written, only dropped once
+    # no epoch references them.
     # ------------------------------------------------------------------
 
     def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:

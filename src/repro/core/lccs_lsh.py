@@ -177,9 +177,15 @@ class LCCSLSH(ANNIndex):
         return self.family.size_bytes() + self.csa.size_bytes()
 
     # ------------------------------------------------------------------
-    # Native persistence.  The CSA is *not* serialized: it is a pure
-    # deterministic function of the hash strings, so the loader rebuilds
-    # it and queries stay byte-identical while bundles stay small.
+    # Native persistence.  The CSA arrays are serialized through the
+    # CSA's own `export_arrays` codepath (nested under a ``csa.``
+    # prefix), so loading reconstructs the index without re-sorting —
+    # with ``load_index(path, mmap=True)`` the whole index is servable
+    # in milliseconds from read-only memory maps.  The hash strings are
+    # not stored separately: they are exactly the left half of the
+    # CSA's ``doubled`` array.  Bundles written before format v2 stored
+    # ``hash_strings`` only; loading those rebuilds the CSA (the
+    # deterministic stable sort reproduces it bit for bit).
     # ------------------------------------------------------------------
 
     def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -188,7 +194,11 @@ class LCCSLSH(ANNIndex):
         arrays = {f"family.{key}": val for key, val in family_arrays.items()}
         if self._data is not None:
             arrays["data"] = self._data
-        if self.hash_strings is not None:
+        if self.csa is not None:
+            arrays.update(
+                {f"csa.{key}": val for key, val in self.csa.export_arrays().items()}
+            )
+        elif self.hash_strings is not None:  # pragma: no cover - defensive
             arrays["hash_strings"] = self.hash_strings
         return state, arrays
 
@@ -217,7 +227,17 @@ class LCCSLSH(ANNIndex):
         index.metric = manifest["metric"]
         if "data" in arrays:
             index._data = arrays["data"]
-        if "hash_strings" in arrays:
+        csa_arrays = {
+            key[len("csa."):]: val
+            for key, val in arrays.items()
+            if key.startswith("csa.")
+        }
+        if csa_arrays:
+            index.csa = CircularShiftArray.from_arrays(
+                csa_arrays, source="<csa>"
+            )
+            index.hash_strings = index.csa.strings
+        elif "hash_strings" in arrays:  # pre-v2 bundle: rebuild the CSA
             index.hash_strings = arrays["hash_strings"]
             index.csa = CircularShiftArray(index.hash_strings)
         return index

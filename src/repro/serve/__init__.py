@@ -5,13 +5,19 @@ This package turns the in-process indexes into servable artifacts:
 * :mod:`repro.serve.persistence` — the ``save``/``load`` bundle format.
   A bundle is a directory of ``manifest.json`` (format version, registry
   class name, ``dim``/``metric``/``seed``, build time, work counters,
-  JSON-safe native state) plus ``arrays.npz`` (every numpy array the
-  index needs).  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``,
-  ``LinearScan`` and ``ShardedIndex`` serialize natively (no pickle
-  anywhere; ``arrays.npz`` is read with ``allow_pickle=False``); every
-  other baseline falls back to the documented pickle serializer inside
-  the same layout.  Corrupt manifests, wrong ``format_version`` and
-  unknown classes raise :class:`~repro.serve.persistence.BundleError`.
+  JSON-safe native state, per-array file/shape/dtype/offset index) plus
+  one raw ``.npy`` file per array (format v2; the legacy v1
+  ``arrays.npz`` archive stays readable).  ``load_index(path,
+  mmap=True)`` opens a v2 bundle as read-only memory maps through the
+  :class:`~repro.serve.persistence.ArrayStore` abstraction — cold start
+  in milliseconds, one page-cache copy of the data shared by every
+  local reader, byte-identical query results.  ``LCCSLSH``,
+  ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan``, ``QALSH`` and
+  ``ShardedIndex`` serialize natively (no pickle anywhere; arrays are
+  read with ``allow_pickle=False``); every other baseline falls back to
+  the documented pickle serializer inside the same layout.  Corrupt
+  manifests, wrong ``format_version`` and unknown classes raise
+  :class:`~repro.serve.persistence.BundleError`.
 * :mod:`repro.serve.sharding` — :class:`~repro.serve.sharding.ShardedIndex`
   partitions the rows into contiguous shards, builds them in parallel
   (process pool, with thread/serial fallbacks), fans queries out, and
@@ -59,10 +65,12 @@ from repro.serve.durability import (
 )
 from repro.serve.persistence import (
     FORMAT_VERSION,
+    ArrayStore,
     BundleError,
     export_index,
     import_index,
     load_index,
+    load_shard,
     read_manifest,
     save_index,
 )
@@ -78,6 +86,7 @@ from repro.serve.sharding import IndexSpec, ShardedIndex, merge_topk
 
 __all__ = [
     "ANNService",
+    "ArrayStore",
     "BundleError",
     "ConcurrentIndex",
     "DurableIndex",
@@ -100,6 +109,7 @@ __all__ = [
     "index_names",
     "index_registry",
     "load_index",
+    "load_shard",
     "merge_topk",
     "read_manifest",
     "register_index",

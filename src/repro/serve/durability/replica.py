@@ -55,16 +55,23 @@ class Replica:
             only when the directory has neither snapshots nor a
             ``durable.json`` sidecar).
         replica_id: label used in stats.
+        mmap: bootstrap from the snapshot as read-only memory maps.
+            Every replica on the machine then shares one physical copy
+            of the snapshotted arrays (the page cache's), so replica
+            RSS stops scaling with index size; replayed writes promote
+            state copy-on-write.
 
     ``query``/``batch_query``/``catch_up`` are serialized per replica by
     an internal lock, so one replica is safe to share across threads;
     distinct replicas proceed in parallel.
     """
 
-    def __init__(self, wal_dir: str, spec=None, replica_id: int = 0):
+    def __init__(
+        self, wal_dir: str, spec=None, replica_id: int = 0, mmap: bool = False
+    ):
         self.wal_dir = wal_dir
         self.replica_id = int(replica_id)
-        result = recover(wal_dir, spec=spec)
+        result = recover(wal_dir, spec=spec, mmap=mmap)
         self.index = result.index
         #: ops reflected by this replica's state
         self.applied_seq = int(result.applied_seq)
@@ -146,6 +153,8 @@ class ReplicaSet:
             applying (and logging) all writes.
         num_replicas: how many read copies to bootstrap from its WAL.
         spec: optional recipe forwarded to replica recovery.
+        mmap: bootstrap every replica from memory-mapped snapshots —
+            N replicas, one physical copy of the snapshotted arrays.
 
     Reads route round-robin; pass ``min_version`` (a seq returned by a
     write) for read-your-writes.  ``start_tailing`` launches a daemon
@@ -153,7 +162,13 @@ class ReplicaSet:
     replicas stay near-current without per-read catch-ups.
     """
 
-    def __init__(self, primary: DurableIndex, num_replicas: int = 2, spec=None):
+    def __init__(
+        self,
+        primary: DurableIndex,
+        num_replicas: int = 2,
+        spec=None,
+        mmap: bool = False,
+    ):
         if not isinstance(primary, DurableIndex):
             raise TypeError("primary must be a DurableIndex")
         if num_replicas <= 0:
@@ -163,7 +178,7 @@ class ReplicaSet:
         # the primary's acknowledged state must be on disk first.
         primary.wal.sync()
         self.replicas: List[Replica] = [
-            Replica(primary.wal.path, spec=spec, replica_id=i)
+            Replica(primary.wal.path, spec=spec, replica_id=i, mmap=mmap)
             for i in range(num_replicas)
         ]
         self._rr = itertools.cycle(range(num_replicas))

@@ -229,7 +229,7 @@ def _load_spec(wal_dir: str):
     return IndexSpec.from_manifest(manifest)
 
 
-def recover(wal_dir: str, spec=None) -> RecoveryResult:
+def recover(wal_dir: str, spec=None, mmap: bool = False) -> RecoveryResult:
     """Rebuild the acknowledged index state from ``wal_dir``.
 
     Tries snapshots newest-first; each readable one is loaded and the
@@ -240,6 +240,13 @@ def recover(wal_dir: str, spec=None) -> RecoveryResult:
     log is replayed onto a fresh index built from ``spec`` (argument,
     or the ``durable.json`` sidecar a
     :class:`~repro.serve.durability.wal.DurableIndex` records).
+
+    With ``mmap=True`` the snapshot opens as read-only memory maps
+    (see :func:`repro.serve.persistence.load_index`): recovery time
+    stops scaling with snapshot size — only the replayed WAL suffix
+    costs time — and the recovered index's resident memory is just the
+    pages its queries touch.  Replayed writes promote state
+    copy-on-write exactly as live writes do.
 
     Raises :class:`RecoveryError` when nothing can produce an index —
     no readable snapshot and no spec for a full replay.
@@ -257,7 +264,7 @@ def recover(wal_dir: str, spec=None) -> RecoveryResult:
                 raise BundleError(
                     f"{path}: wal_seq tag {tagged} contradicts its name"
                 )
-            index = load_index(path)
+            index = load_index(path, mmap=mmap)
         except BundleError as exc:
             corrupt.append((path, str(exc)))
             continue

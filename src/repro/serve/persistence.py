@@ -1,33 +1,62 @@
-"""Index persistence: ``.npz`` + JSON-manifest bundles.
+"""Index persistence: JSON-manifest bundles with raw-``.npy`` payloads.
 
-A *bundle* is a directory with exactly two files::
+A *bundle* is a directory.  Two on-disk layouts exist:
 
-    <path>/
-        manifest.json   # format version, registry class name, dim,
-                        # metric, seed, build_time, work counters, and
-                        # the index's JSON-safe native state
-        arrays.npz      # every numpy array the index needs (raw data,
-                        # hash strings, projections, shard payloads)
+* **format v2** (written by :func:`save_index`)::
 
-Two serializers share this layout:
+      <path>/
+          manifest.json   # format version, registry class name, dim,
+                          # metric, seed, build_time, work counters, the
+                          # index's JSON-safe native state, and an
+                          # ``array_index``: per array the file it lives
+                          # in, its shape/dtype, and the byte offset of
+                          # its data inside that file
+          arrays/
+              <name>.npy  # one raw npy file per numpy array
+
+  Because every array is a plain contiguous ``.npy`` file, the whole
+  bundle can be opened with ``np.load(..., mmap_mode="r")``:
+  ``load_index(path, mmap=True)`` returns a servable index in
+  milliseconds without reading the payload — the OS page cache holds
+  the only physical copy of the data, shared by every local process
+  that maps the same bundle.
+
+* **format v1** (the legacy single-archive layout)::
+
+      <path>/
+          manifest.json
+          arrays.npz      # every array in one zip archive
+
+  v1 bundles stay fully readable.  Zip members cannot be memory-mapped,
+  so ``mmap=True`` on a v1 bundle silently degrades to an eager load.
+
+Two serializers share both layouts:
 
 * ``native`` — the index implements the :meth:`ANNIndex._export_state` /
   :meth:`ANNIndex._import_state` hooks, splitting itself into JSON-safe
-  metadata and named arrays.  Loading never unpickles anything
-  (``arrays.npz`` is read with ``allow_pickle=False``), bundles are
-  inspectable with a text editor plus ``np.load``, and they stay
-  readable across library refactors as long as the hook contract holds.
-  ``LCCSLSH``, ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan``,
-  ``ShardedIndex``, ``SKLSH``, ``LSBForest`` and ``SRS`` ship native
+  metadata and named arrays.  Loading never unpickles anything (arrays
+  are read with ``allow_pickle=False``), bundles are inspectable with a
+  text editor plus ``np.load``, and they stay readable across library
+  refactors as long as the hook contract holds.  ``LCCSLSH``,
+  ``MPLCCSLSH``, ``DynamicLCCSLSH``, ``LinearScan``, ``ShardedIndex``,
+  ``QALSH``, ``SKLSH``, ``LSBForest`` and ``SRS`` ship native
   implementations.
 * ``pickle`` — the documented fallback for the remaining baselines
   (``E2LSH``/``MultiProbeLSH``/``FALCONN``/``StaticConcatIndex``,
-  ``C2LSH``, ``QALSH``, ``LazyLSH``, ``LSHForest``, and the cascades): the
-  whole index object is pickled into a single ``uint8`` array stored
-  under the ``__pickle__`` key of ``arrays.npz``.  Same on-disk layout,
-  same API, but the usual pickle caveats apply (trusted inputs only, and
-  bundles are tied to the class layout of the writing version).  Indexes
-  opt in simply by *not* overriding the export hooks.
+  ``C2LSH``, ``LazyLSH``, ``LSHForest``, and the cascades): the whole
+  index object is pickled into a single ``uint8`` array stored under
+  the ``__pickle__`` key.  Same on-disk layout, same API, but the usual
+  pickle caveats apply (trusted inputs only, and bundles are tied to
+  the class layout of the writing version).  Indexes opt in simply by
+  *not* overriding the export hooks.  ``mmap=True`` is ineffective for
+  pickle bundles — unpickling materialises a private copy anyway.
+
+:class:`ArrayStore` is the read-side abstraction both layouts load
+through: a mapping from array name to ``np.ndarray`` whose ``mode`` is
+either ``"eager"`` (private in-RAM copies) or ``"mmap"`` (read-only
+memory maps opened lazily, v2 only).  Arrays served by an mmap store
+are **read-only**; index classes must treat loaded state as immutable
+and copy-on-write anything they need to change.
 
 ``ANNIndex.load`` also accepts a legacy single-file pickle (what
 ``save`` wrote before the bundle format existed) when ``path`` is a
@@ -44,7 +73,9 @@ import io
 import json
 import os
 import pickle
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+import re
+import shutil
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -52,24 +83,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.base import ANNIndex
 
 __all__ = [
+    "ArrayStore",
     "BundleError",
     "FORMAT_VERSION",
+    "READABLE_VERSIONS",
     "MANIFEST_NAME",
     "ARRAYS_NAME",
+    "ARRAYS_DIR",
     "bundle_summary",
     "export_index",
     "import_index",
+    "open_array_store",
     "save_index",
     "load_index",
+    "load_shard",
     "read_manifest",
 ]
 
 #: bump when the bundle layout changes incompatibly
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: every format version this library can still read
+READABLE_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
+#: v1: the single-archive payload
 ARRAYS_NAME = "arrays.npz"
+#: v2: directory of one raw .npy file per array
+ARRAYS_DIR = "arrays"
 #: npz key holding the pickled index when the fallback serializer is used
 PICKLE_KEY = "__pickle__"
+
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]")
 
 
 class BundleError(RuntimeError):
@@ -132,13 +175,14 @@ def export_index(index: "ANNIndex") -> Tuple[dict, Dict[str, np.ndarray]]:
 
 
 def import_index(
-    manifest: dict, arrays: Dict[str, np.ndarray], source: str = "<bundle>"
+    manifest: dict, arrays: Mapping[str, np.ndarray], source: str = "<bundle>"
 ) -> "ANNIndex":
     """Rebuild an index from :func:`export_index` output.
 
     Args:
         manifest: parsed manifest dictionary.
-        arrays: named arrays (already loaded; never unpickled here).
+        arrays: named arrays — a plain dict or an :class:`ArrayStore`
+            (mmap stores hand out read-only maps; never unpickled here).
         source: human-readable origin used in error messages.
     """
     from repro.base import ANNIndex
@@ -147,10 +191,10 @@ def import_index(
     if not isinstance(manifest, dict):
         raise BundleError(f"{source}: manifest must be a JSON object")
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise BundleError(
             f"{source}: unsupported bundle format_version {version!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {list(READABLE_VERSIONS)})"
         )
     for key in ("class", "serializer", "dim", "metric"):
         if key not in manifest:
@@ -182,7 +226,7 @@ def import_index(
     elif serializer == "native":
         try:
             index = cls._import_state(manifest, dict(arrays))
-        except (KeyError, IndexError) as exc:
+        except (KeyError, IndexError, ValueError) as exc:
             raise BundleError(
                 f"{source}: incomplete native state for {manifest['class']}: "
                 f"{exc!r}"
@@ -210,25 +254,201 @@ def import_index(
 def pack_nested(
     arrays: Dict[str, np.ndarray], prefix: str
 ) -> Dict[str, np.ndarray]:
-    """Prefix a nested index's arrays so several fit in one ``.npz``."""
+    """Prefix a nested index's arrays so several fit in one bundle."""
     return {f"{prefix}.{key}": val for key, val in arrays.items()}
 
 
-def unpack_nested(arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+def unpack_nested(
+    arrays: Mapping[str, np.ndarray], prefix: str
+) -> Dict[str, np.ndarray]:
     """Invert :func:`pack_nested` for one prefix."""
     head = f"{prefix}."
     return {
-        key[len(head):]: val for key, val in arrays.items()
+        key[len(head):]: arrays[key] for key in arrays
         if key.startswith(head)
     }
+
+
+# ----------------------------------------------------------------------
+# ArrayStore: the read-side eager-vs-mmap abstraction
+# ----------------------------------------------------------------------
+
+class ArrayStore(Mapping):
+    """A bundle's named arrays behind one mapping interface.
+
+    ``mode == "eager"``: every array is a private in-RAM copy, loaded up
+    front.  ``mode == "mmap"``: arrays are opened on first access as
+    **read-only** ``np.memmap`` views of their ``.npy`` files (v2
+    layouts only) and cached, so iterating names costs nothing and
+    opening an array costs one header read — the payload pages fault in
+    lazily and are shared with every other process mapping the bundle.
+
+    Construct via :func:`open_array_store` (from a bundle directory) or
+    :meth:`ArrayStore.eager` (from an in-memory dict).
+    """
+
+    def __init__(
+        self,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        path: Optional[str] = None,
+        files: Optional[Dict[str, str]] = None,
+        mmap: bool = False,
+        source: str = "<arrays>",
+    ):
+        self._cache: Dict[str, np.ndarray] = dict(arrays) if arrays else {}
+        self._path = path
+        self._files = dict(files) if files else {}
+        self._mmap = bool(mmap)
+        self._source = source
+        self._names = tuple(
+            sorted(set(self._cache) | set(self._files))
+        )
+
+    @classmethod
+    def eager(cls, arrays: Dict[str, np.ndarray]) -> "ArrayStore":
+        """Wrap an already-loaded name -> array dict."""
+        return cls(arrays, mmap=False)
+
+    @property
+    def mode(self) -> str:
+        """``"mmap"`` or ``"eager"`` — how arrays are materialised."""
+        return "mmap" if self._mmap else "eager"
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name) -> bool:
+        return name in self._cache or name in self._files
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name in self._cache:
+            return self._cache[name]
+        try:
+            rel = self._files[name]
+        except KeyError:
+            raise KeyError(name) from None
+        fpath = os.path.join(self._path, rel)
+        try:
+            if self._mmap:
+                arr = np.load(fpath, mmap_mode="r", allow_pickle=False)
+            else:
+                arr = np.load(fpath, allow_pickle=False)
+        except FileNotFoundError:
+            raise BundleError(
+                f"{self._source}: missing array file {rel!r} for {name!r}"
+            ) from None
+        except (ValueError, OSError) as exc:
+            raise BundleError(
+                f"{self._source}: unreadable array {name!r}: {exc}"
+            ) from None
+        self._cache[name] = arr
+        return arr
+
+
+def _array_filenames(names) -> Dict[str, str]:
+    """Deterministic, collision-free name -> filename map for v2 writes."""
+    out: Dict[str, str] = {}
+    used = set()
+    for i, name in enumerate(sorted(names)):
+        safe = _UNSAFE_FILENAME.sub("_", name)
+        if not safe or safe.startswith("."):
+            safe = f"array{i}"
+        fname = f"{safe}.npy"
+        while fname in used:  # sanitisation collision: disambiguate
+            safe = f"{safe}_{i}"
+            fname = f"{safe}.npy"
+        used.add(fname)
+        out[name] = fname
+    return out
+
+
+def _npy_header(fpath: str) -> Tuple[Tuple[int, ...], np.dtype, int]:
+    """(shape, dtype, data offset) from a ``.npy`` file's header only."""
+    with open(fpath, "rb") as f:
+        version = np.lib.format.read_magic(f)
+        if version == (1, 0):
+            shape, _, dtype = np.lib.format.read_array_header_1_0(f)
+        elif version == (2, 0):
+            shape, _, dtype = np.lib.format.read_array_header_2_0(f)
+        else:
+            raise ValueError(f"npy format {version}")
+        return shape, dtype, f.tell()
+
+
+def open_array_store(
+    path: str, manifest: dict, mmap: bool = False
+) -> ArrayStore:
+    """Open a bundle directory's arrays as an :class:`ArrayStore`.
+
+    v2 bundles honour ``mmap`` (lazy read-only maps); v1 bundles are
+    zip archives, which cannot be mapped, so ``mmap=True`` silently
+    degrades to an eager load there.
+    """
+    array_index = manifest.get("array_index")
+    if isinstance(array_index, dict):  # v2: per-array .npy files
+        files = {
+            name: entry["file"] for name, entry in array_index.items()
+            if isinstance(entry, dict) and "file" in entry
+        }
+        return ArrayStore(path=path, files=files, mmap=mmap, source=path)
+    # v1: one npz archive, read eagerly.
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    try:
+        with open(arrays_path, "rb") as f:
+            buffer = io.BytesIO(f.read())
+    except FileNotFoundError:
+        raise BundleError(f"{path}: missing {ARRAYS_NAME}") from None
+    try:
+        with np.load(buffer, allow_pickle=False) as npz:
+            arrays = {key: npz[key] for key in npz.files}
+    except (ValueError, OSError) as exc:
+        raise BundleError(f"{path}: corrupt {ARRAYS_NAME}: {exc}") from None
+    return ArrayStore.eager(arrays)
 
 
 # ----------------------------------------------------------------------
 # File I/O
 # ----------------------------------------------------------------------
 
+def _write_arrays_v2(path: str, arrays: Dict[str, np.ndarray]) -> dict:
+    """Write one raw ``.npy`` per array; returns the manifest array index."""
+    arrays_dir = os.path.join(path, ARRAYS_DIR)
+    if os.path.isdir(arrays_dir):  # rewrite in place: drop stale members
+        shutil.rmtree(arrays_dir)
+    os.makedirs(arrays_dir)
+    filenames = _array_filenames(arrays)
+    index: dict = {}
+    for name in sorted(arrays):
+        arr = np.asarray(arrays[name])
+        fname = filenames[name]
+        fpath = os.path.join(arrays_dir, fname)
+        with open(fpath, "wb") as f:
+            np.lib.format.write_array(f, arr, allow_pickle=False)
+        shape, dtype, offset = _npy_header(fpath)
+        index[name] = {
+            "file": f"{ARRAYS_DIR}/{fname}",
+            "shape": [int(s) for s in shape],
+            "dtype": dtype.str,
+            "offset": int(offset),
+            "nbytes": int(np.prod(shape, dtype=np.int64)) * dtype.itemsize,
+        }
+    # Switching an old v1 bundle directory to v2 in place: drop the npz
+    # so the directory holds exactly one coherent layout.
+    legacy = os.path.join(path, ARRAYS_NAME)
+    if os.path.exists(legacy):
+        os.remove(legacy)
+    return index
+
+
 def save_index(
-    index: "ANNIndex", path: str, extra: Optional[dict] = None
+    index: "ANNIndex",
+    path: str,
+    extra: Optional[dict] = None,
+    format_version: int = FORMAT_VERSION,
 ) -> str:
     """Write ``index`` as a bundle directory at ``path``; returns ``path``.
 
@@ -238,8 +458,22 @@ def save_index(
         extra: optional JSON-safe application metadata stored under the
             manifest's ``"extra"`` key (the CLI records dataset
             provenance here).
+        format_version: ``2`` (default; per-``.npy`` layout, mmap-able)
+            or ``1`` (legacy ``arrays.npz`` layout).  Note that v1 here
+            fixes only the *layout*: indexes whose array schema evolved
+            (e.g. the LCCS family now persists ``csa.*`` instead of
+            ``hash_strings``) still write their current schema, so a v1
+            bundle written by this version feeds this version's reader
+            and the compatibility tests — not necessarily pre-v2
+            library releases.
     """
+    if format_version not in READABLE_VERSIONS:
+        raise ValueError(
+            f"cannot write format_version {format_version!r}; "
+            f"supported: {list(READABLE_VERSIONS)}"
+        )
     manifest, arrays = export_index(index)
+    manifest["format_version"] = int(format_version)
     if extra is not None:
         if not json_safe(extra):
             raise ValueError("extra metadata must be JSON-safe")
@@ -249,9 +483,21 @@ def save_index(
             f"{path} exists and is not a directory; bundles are directories"
         )
     os.makedirs(path, exist_ok=True)
-    # Write arrays first so a torn write leaves no parseable manifest.
-    with open(os.path.join(path, ARRAYS_NAME), "wb") as f:
-        np.savez(f, **arrays)
+    # Write arrays first so a torn write leaves no parseable manifest —
+    # including on an in-place re-save, where the *previous* manifest
+    # must go before the old arrays do (a crash mid-rewrite must not
+    # leave a stale manifest describing half-replaced payloads).
+    stale_manifest = os.path.join(path, MANIFEST_NAME)
+    if os.path.exists(stale_manifest):
+        os.remove(stale_manifest)
+    if format_version >= 2:
+        manifest["array_index"] = _write_arrays_v2(path, arrays)
+    else:
+        with open(os.path.join(path, ARRAYS_NAME), "wb") as f:
+            np.savez(f, **arrays)
+        stale_dir = os.path.join(path, ARRAYS_DIR)
+        if os.path.isdir(stale_dir):
+            shutil.rmtree(stale_dir)
     blob = json.dumps(manifest, indent=2, sort_keys=True)
     with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as f:
         f.write(blob + "\n")
@@ -273,46 +519,42 @@ def read_manifest(path: str) -> dict:
     return manifest
 
 
-def bundle_summary(path: str) -> dict:
-    """Describe a bundle without loading (or unpickling) any arrays.
+def _summary_arrays_v2(path: str, manifest: dict) -> list:
+    """Per-array summary rows from a v2 manifest (no payload I/O at all)."""
+    rows = []
+    for name in sorted(manifest["array_index"]):
+        entry = manifest["array_index"][name]
+        try:
+            shape = tuple(int(s) for s in entry["shape"])
+            dtype = np.dtype(entry["dtype"])
+            rel = entry["file"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BundleError(
+                f"{path}: corrupt array_index entry {name!r}: {exc}"
+            ) from None
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        try:
+            stored = int(os.path.getsize(os.path.join(path, rel)))
+        except OSError:
+            raise BundleError(
+                f"{path}: missing array file {rel!r} for {name!r}"
+            ) from None
+        rows.append(
+            {
+                "name": name,
+                "shape": shape,
+                "dtype": str(dtype),
+                "bytes": nbytes,
+                "stored_bytes": stored,
+            }
+        )
+    return rows
 
-    Reads the manifest plus only the *npy headers* inside ``arrays.npz``
-    (a few hundred bytes per member), so inspecting a multi-gigabyte
-    bundle is instant.  Returns::
 
-        {
-          "path", "class", "serializer", "format_version",
-          "library_version", "dim", "metric", "seed", "fitted",
-          "build_time", "shards",            # None unless sharded
-          "extra",                           # build provenance, if any
-          "arrays": [ {"name", "shape", "dtype",
-                       "bytes",              # in-memory size
-                       "stored_bytes"}, ...],  # compressed-in-zip size
-          "total_bytes", "total_stored_bytes",
-        }
-
-    Raises :class:`BundleError` for anything that is not a readable
-    bundle (the same contract as :func:`load_index`).
-    """
+def _summary_arrays_v1(path: str) -> list:
+    """Per-array summary rows from a v1 npz (header reads only)."""
     import zipfile
 
-    manifest = read_manifest(path)
-    state = manifest.get("state", {})
-    summary = {
-        "path": path,
-        "class": manifest.get("class"),
-        "serializer": manifest.get("serializer"),
-        "format_version": manifest.get("format_version"),
-        "library_version": manifest.get("library_version"),
-        "dim": manifest.get("dim"),
-        "metric": manifest.get("metric"),
-        "seed": manifest.get("seed"),
-        "fitted": manifest.get("fitted"),
-        "build_time": manifest.get("build_time"),
-        "shards": state.get("num_shards") if isinstance(state, dict) else None,
-        "extra": manifest.get("extra"),
-        "arrays": [],
-    }
     arrays_path = os.path.join(path, ARRAYS_NAME)
     try:
         zf = zipfile.ZipFile(arrays_path)
@@ -320,7 +562,7 @@ def bundle_summary(path: str) -> dict:
         raise BundleError(f"{path}: missing {ARRAYS_NAME}") from None
     except zipfile.BadZipFile as exc:
         raise BundleError(f"{path}: corrupt {ARRAYS_NAME}: {exc}") from None
-    total = total_stored = 0
+    rows = []
     with zf:
         for info in sorted(zf.infolist(), key=lambda i: i.filename):
             name = info.filename
@@ -344,9 +586,7 @@ def bundle_summary(path: str) -> dict:
                     f"{path}: unreadable array {name!r}: {exc}"
                 ) from None
             nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-            total += nbytes
-            total_stored += info.compress_size
-            summary["arrays"].append(
+            rows.append(
                 {
                     "name": name,
                     "shape": tuple(int(s) for s in shape),
@@ -355,39 +595,130 @@ def bundle_summary(path: str) -> dict:
                     "stored_bytes": int(info.compress_size),
                 }
             )
-    summary["total_bytes"] = total
-    summary["total_stored_bytes"] = total_stored
+    return rows
+
+
+def bundle_summary(path: str) -> dict:
+    """Describe a bundle without loading (or unpickling) any arrays.
+
+    Understands both layouts.  For v2 bundles everything comes from the
+    manifest's ``array_index`` (zero payload I/O beyond one ``stat`` per
+    file); for v1 bundles only the *npy headers* inside ``arrays.npz``
+    are read (a few hundred bytes per member), so inspecting a
+    multi-gigabyte bundle is instant either way.  Returns::
+
+        {
+          "path", "class", "serializer", "format_version", "layout",
+          "library_version", "dim", "metric", "seed", "fitted",
+          "build_time", "shards",            # None unless sharded
+          "extra",                           # build provenance, if any
+          "arrays": [ {"name", "shape", "dtype",
+                       "bytes",              # in-memory size
+                       "stored_bytes"}, ...],  # on-disk size
+          "total_bytes", "total_stored_bytes",
+        }
+
+    Raises :class:`BundleError` for anything that is not a readable
+    bundle (the same contract as :func:`load_index`).
+    """
+    manifest = read_manifest(path)
+    state = manifest.get("state", {})
+    has_index = isinstance(manifest.get("array_index"), dict)
+    summary = {
+        "path": path,
+        "class": manifest.get("class"),
+        "serializer": manifest.get("serializer"),
+        "format_version": manifest.get("format_version"),
+        "layout": "npy-dir" if has_index else "npz",
+        "library_version": manifest.get("library_version"),
+        "dim": manifest.get("dim"),
+        "metric": manifest.get("metric"),
+        "seed": manifest.get("seed"),
+        "fitted": manifest.get("fitted"),
+        "build_time": manifest.get("build_time"),
+        "shards": state.get("num_shards") if isinstance(state, dict) else None,
+        "extra": manifest.get("extra"),
+        "arrays": (
+            _summary_arrays_v2(path, manifest)
+            if has_index
+            else _summary_arrays_v1(path)
+        ),
+    }
+    summary["total_bytes"] = sum(a["bytes"] for a in summary["arrays"])
+    summary["total_stored_bytes"] = sum(
+        a["stored_bytes"] for a in summary["arrays"]
+    )
     return summary
 
 
-def load_index(path: str) -> "ANNIndex":
+def load_index(path: str, mmap: bool = False) -> "ANNIndex":
     """Load a bundle directory (or a legacy single-file pickle).
 
-    Directories go through the manifest/npz protocol with
+    Args:
+        path: bundle directory, or a pre-bundle pickle file.
+        mmap: open the arrays of a v2 bundle as read-only memory maps
+            instead of reading them into RAM.  The index is servable
+            immediately — array pages fault in on first touch and live
+            in the OS page cache, shared across every process that maps
+            the same bundle.  Ignored (eager load) for v1 bundles,
+            pickle-serialized bundles, and legacy pickle files.
+
+    Directories go through the manifest protocol with
     :class:`BundleError` on any inconsistency.  A plain file is treated
     as a pre-bundle pickle for backward compatibility (``TypeError`` if
     it does not contain an index, matching the historical behaviour).
-    """
-    from repro.base import ANNIndex
 
+    Eager and mmap loads reconstruct byte-identical indexes: every
+    query answered by an mmap-loaded index returns exactly the ids and
+    distances its eager twin would.
+    """
     if os.path.isfile(path):  # legacy single-file pickle
         with open(path, "rb") as f:
             index = pickle.load(f)
+        from repro.base import ANNIndex
+
         if not isinstance(index, ANNIndex):
             raise TypeError(f"{path} does not contain an ANNIndex")
         return index
     if not os.path.isdir(path):
         raise BundleError(f"{path}: no such bundle")
     manifest = read_manifest(path)
-    arrays_path = os.path.join(path, ARRAYS_NAME)
-    try:
-        with open(arrays_path, "rb") as f:
-            buffer = io.BytesIO(f.read())
-    except FileNotFoundError:
-        raise BundleError(f"{path}: missing {ARRAYS_NAME}") from None
-    try:
-        with np.load(buffer, allow_pickle=False) as npz:
-            arrays = {key: npz[key] for key in npz.files}
-    except (ValueError, OSError) as exc:
-        raise BundleError(f"{path}: corrupt {ARRAYS_NAME}: {exc}") from None
-    return import_index(manifest, arrays, source=path)
+    store = open_array_store(path, manifest, mmap=mmap)
+    index = import_index(manifest, store, source=path)
+    # Record provenance so downstream layers (e.g. the sharded process
+    # fan-out) can re-open the same bundle in worker processes.
+    attach = getattr(index, "attach_bundle", None)
+    if callable(attach):
+        attach(os.path.abspath(path), mmap=store.mode == "mmap")
+    return index
+
+
+def load_shard(path: str, shard: int, mmap: bool = False) -> "ANNIndex":
+    """Load one shard of a saved :class:`~repro.serve.sharding.ShardedIndex`.
+
+    With a v2 bundle and ``mmap=True`` only the requested shard's
+    arrays are opened (as read-only maps), so a fan-out worker process
+    touches none of the other shards' pages — this is what lets a
+    process pool serve a sharded bundle with one physical copy of the
+    dataset.  v1 bundles still work but read the whole archive.
+
+    Args:
+        path: bundle directory holding a fitted ``ShardedIndex``.
+        shard: shard number in ``[0, num_shards)``.
+        mmap: open arrays as read-only memory maps (v2 bundles).
+    """
+    manifest = read_manifest(path)
+    state = manifest.get("state")
+    shard_manifests = state.get("shards") if isinstance(state, dict) else None
+    if not isinstance(shard_manifests, list) or not shard_manifests:
+        raise BundleError(f"{path}: not a fitted ShardedIndex bundle")
+    if not 0 <= shard < len(shard_manifests):
+        raise BundleError(
+            f"{path}: shard {shard} out of range "
+            f"[0, {len(shard_manifests)})"
+        )
+    store = open_array_store(path, manifest, mmap=mmap)
+    arrays = unpack_nested(store, f"shard{shard}")
+    return import_index(
+        shard_manifests[shard], arrays, source=f"{path}[shard {shard}]"
+    )

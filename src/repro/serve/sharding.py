@@ -22,6 +22,17 @@ sharded index routes inserts round-robin and deletes by handle lookup,
 preserving the unsharded handle sequence: the i-th insert returns handle
 ``n + i`` exactly like a single ``DynamicLCCSLSH`` would.
 
+**Bundle-backed process fan-out.**  A ``ShardedIndex`` loaded from a
+bundle **with** ``mmap=True`` (``load_index`` records path and mode via
+:meth:`ShardedIndex.attach_bundle`) and configured with
+``parallel="process"`` answers ``batch_query`` by shipping each worker
+process the *bundle path and shard number* — never a pickled index.  Workers open their shard with
+:func:`repro.serve.persistence.load_shard` (mmapped when the bundle was
+loaded mmapped) and cache it, so the dataset exists once in the page
+cache no matter how many worker processes serve it.  Any write detaches
+the bundle (the on-disk copy is stale) and fan-out falls back to the
+in-process thread pool, preserving correctness.
+
 **Thread safety.**  Like every :class:`~repro.base.ANNIndex`, a
 ``ShardedIndex`` is a single-threaded object (``insert`` mutates the
 round-robin cursor and handle maps without locks).  For concurrent
@@ -122,6 +133,41 @@ def _build_one_shard(spec: IndexSpec, chunk: np.ndarray) -> ANNIndex:
     return spec.build().fit(chunk)
 
 
+#: per-worker-process cache of shards opened from a bundle path, keyed
+#: ``(bundle_path, shard, mmap)`` — one load per worker, reused across
+#: every fan-out call routed to that worker
+_WORKER_SHARDS: Dict[Tuple[str, int, bool], ANNIndex] = {}
+
+
+def _query_shard_from_bundle(
+    bundle_path: str,
+    shard: int,
+    mmap: bool,
+    queries: np.ndarray,
+    k: int,
+    kwargs: dict,
+) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Process-pool fan-out worker: answer a batch from one shard.
+
+    The shard is identified by ``(bundle_path, shard)`` rather than
+    shipped as a pickled index, so the parent never serializes the
+    dataset.  With an mmap-capable (v2) bundle each worker opens only
+    its own shard's arrays as read-only maps — every worker on the
+    machine shares the same physical page-cache copy of the index.
+    Loaded shards are cached per process, so only the first call pays
+    the open.
+    """
+    from repro.serve.persistence import load_shard
+
+    key = (bundle_path, int(shard), bool(mmap))
+    index = _WORKER_SHARDS.get(key)
+    if index is None:
+        index = load_shard(bundle_path, shard, mmap=mmap)
+        _WORKER_SHARDS[key] = index
+    ids, dists = index.batch_query(queries, k=k, **kwargs)
+    return ids, dists, dict(index.last_stats)
+
+
 class ShardedIndex(ANNIndex):
     """Partition data across ``num_shards`` inner indexes built from one spec.
 
@@ -183,6 +229,15 @@ class ShardedIndex(ANNIndex):
         #: creation guarded so parallel readers share one pool
         self._fanout_pool = None
         self._pool_lock = threading.Lock()
+        #: bundle provenance (set by ``load_index`` via `attach_bundle`):
+        #: with ``parallel="process"`` batch queries fan out to a process
+        #: pool whose workers open their shard from this path instead of
+        #: receiving a pickled index
+        self._bundle_path: Optional[str] = None
+        self._bundle_mmap = False
+        #: writes since load invalidate the on-disk copy the workers see
+        self._bundle_stale = False
+        self._process_pool = None
 
     # ------------------------------------------------------------------
     # Build
@@ -193,7 +248,31 @@ class ShardedIndex(ANNIndex):
         cap = self.max_workers if self.max_workers else min(self.num_shards, cores)
         return max(1, cap)
 
+    def attach_bundle(self, path: str, mmap: bool = False) -> None:
+        """Record the bundle this index was loaded from.
+
+        Called by :func:`repro.serve.persistence.load_index`.  With
+        ``parallel="process"`` **and** ``mmap=True`` subsequent
+        ``batch_query`` calls fan out to a process pool whose workers
+        open their shard straight from ``path`` as read-only maps,
+        sharing page-cache pages instead of receiving a pickled copy of
+        the dataset.  Eager loads keep the in-process thread fan-out
+        (bundle workers would each materialise a private shard copy —
+        the duplication this feature exists to avoid).  Any write
+        (``fit``/``insert``/``delete``) detaches the bundle — the
+        on-disk copy no longer matches — and fan-out falls back to the
+        in-process thread pool.
+        """
+        self._bundle_path = path
+        self._bundle_mmap = bool(mmap)
+        self._bundle_stale = False
+
+    def _mark_bundle_stale(self) -> None:
+        if self._bundle_path is not None:
+            self._bundle_stale = True
+
     def _fit(self, data: np.ndarray) -> None:
+        self._mark_bundle_stale()
         chunks = np.array_split(data, self.num_shards)
         sizes = np.array([len(c) for c in chunks], dtype=np.int64)
         if np.any(sizes == 0):
@@ -290,17 +369,28 @@ class ShardedIndex(ANNIndex):
         thread pool (numpy kernels release the GIL for large batches).
         """
 
-        def run(args: Tuple[int, ANNIndex]) -> Tuple[np.ndarray, np.ndarray]:
-            _, shard = args
-            return shard.batch_query(queries, k=k, **kwargs)
+        shard_results = None
+        if (
+            self.parallel == "process"
+            and self._bundle_path is not None
+            and self._bundle_mmap  # eager workers would duplicate RAM
+            and not self._bundle_stale
+            and len(self.shards) > 1
+        ):
+            shard_results = self._bundle_fanout(queries, k, kwargs)
+        if shard_results is None:
 
-        jobs = list(enumerate(self.shards))
-        pool = self._query_pool() if len(jobs) > 1 else None
-        if pool is not None:
-            shard_results = list(pool.map(run, jobs))
-        else:
-            shard_results = [run(job) for job in jobs]
-        self._accumulate_shard_stats()
+            def run(args: Tuple[int, ANNIndex]) -> Tuple[np.ndarray, np.ndarray]:
+                _, shard = args
+                return shard.batch_query(queries, k=k, **kwargs)
+
+            jobs = list(enumerate(self.shards))
+            pool = self._query_pool() if len(jobs) > 1 else None
+            if pool is not None:
+                shard_results = list(pool.map(run, jobs))
+            else:
+                shard_results = [run(job) for job in jobs]
+            self._accumulate_shard_stats()
         out: List[Tuple[np.ndarray, np.ndarray]] = []
         for qi in range(len(queries)):
             per_ids: List[np.ndarray] = []
@@ -311,6 +401,74 @@ class ShardedIndex(ANNIndex):
                 per_dists.append(dists_mat[qi][valid])
             out.append(merge_topk(per_ids, per_dists, k))
         return out
+
+    def _bundle_fanout(
+        self, queries: np.ndarray, k: int, kwargs: dict
+    ) -> Optional[List[Tuple[np.ndarray, np.ndarray]]]:
+        """Fan a batch out to bundle-backed worker processes.
+
+        Workers answer from their own (cached, typically mmapped) copy
+        of the shard loaded from ``self._bundle_path`` — byte-identical
+        to the in-process shards by the save/load round-trip contract.
+        Returns ``None`` when the pool cannot run (the caller then uses
+        the in-process thread fan-out).
+        """
+        import pickle as _pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.serve.persistence import BundleError
+
+        pool = self._process_fanout_pool()
+        if pool is None:
+            return None
+        try:
+            futures = [
+                pool.submit(
+                    _query_shard_from_bundle,
+                    self._bundle_path,
+                    s,
+                    self._bundle_mmap,
+                    queries,
+                    k,
+                    kwargs,
+                )
+                for s in range(len(self.shards))
+            ]
+            results = [f.result() for f in futures]
+        except (BundleError, BrokenProcessPool, _pickle.PicklingError, OSError):
+            # Unreadable bundle (e.g. deleted/rotated underneath us) or
+            # pool infrastructure failure: detach and degrade to the
+            # in-process thread fan-out for good — the parent's own
+            # shards stay valid (their maps hold the old inodes open).
+            self._close_process_pool()
+            self._bundle_path = None
+            return None
+        for _, _, stats in results:
+            for key, val in stats.items():
+                self.last_stats[key] = self.last_stats.get(key, 0.0) + float(val)
+        self.last_stats["shards"] = float(self.num_shards)
+        return [(ids, dists) for ids, dists, _ in results]
+
+    def _process_fanout_pool(self):
+        """The reused bundle fan-out process pool, or ``None``."""
+        with self._pool_lock:
+            if self._process_pool is None:
+                try:
+                    from concurrent.futures import ProcessPoolExecutor
+
+                    self._process_pool = ProcessPoolExecutor(
+                        max_workers=self._workers()
+                    )
+                except (OSError, ImportError, RuntimeError):
+                    self._bundle_path = None  # don't retry every call
+                    return None
+            return self._process_pool
+
+    def _close_process_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Dynamic routing (shards must support insert/delete themselves)
@@ -333,6 +491,7 @@ class ShardedIndex(ANNIndex):
         dynamic index would produce (``n``, ``n+1``, ...).
         """
         self._require_dynamic()
+        self._mark_bundle_stale()
         s = self._next_shard
         self._next_shard = (s + 1) % self.num_shards
         local = self.shards[s].insert(vector)
@@ -356,6 +515,7 @@ class ShardedIndex(ANNIndex):
     def delete(self, handle: int) -> None:
         """Delete by global handle; raises ``KeyError`` if unknown/dead."""
         self._require_dynamic()
+        self._mark_bundle_stale()
         shard, local = self._locate(int(handle))
         self.shards[shard].delete(local)
 
@@ -400,15 +560,18 @@ class ShardedIndex(ANNIndex):
             return self._fanout_pool
 
     def close(self) -> None:
-        """Shut down the reused fan-out pool (idempotent).
+        """Shut down the reused fan-out pools (idempotent).
 
         The index stays usable — the next parallel ``batch_query``
         simply spins a fresh pool up.
         """
         with self._pool_lock:
             pool, self._fanout_pool = self._fanout_pool, None
+            ppool, self._process_pool = self._process_pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if ppool is not None:
+            ppool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedIndex":
         return self

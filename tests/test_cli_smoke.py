@@ -1,0 +1,96 @@
+"""End-to-end CLI smoke: build --shards 2 -> inspect -> query --mmap -> serve.
+
+One tiny synthetic dataset flows through the whole command surface the
+way an operator would drive it — the same sequence the CI smoke job
+runs from a shell.  Each step asserts on the human-facing output, so a
+regression anywhere in the build/persist/load/serve pipeline fails
+loudly here before it reaches an actual deployment.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+N = 400
+QUERIES = 5
+SIFT_DIM = 128  # the simulated sift dataset's dimensionality
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("smoke") / "smoke.bundle")
+    rc = main(
+        [
+            "build", "--dataset", "sift", "--n", str(N),
+            "--queries", str(QUERIES), "--method", "lccs",
+            "--shards", "2", "--parallel", "thread",
+            "--out", path, "--mmap",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+def test_build_reports_shards_and_mmap_open(bundle, capsys):
+    # The fixture already ran build; rebuild output is gone, so re-run
+    # inspect-level assertions through a fresh build into the same dir.
+    rc = main(
+        [
+            "build", "--dataset", "sift", "--n", str(N),
+            "--queries", str(QUERIES), "--method", "lccs",
+            "--shards", "2", "--parallel", "thread",
+            "--out", bundle, "--mmap",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "shards=2" in out
+    assert "saved bundle to" in out
+    assert "mmap cold-open check" in out
+
+
+def test_inspect_describes_the_bundle(bundle, capsys):
+    assert main(["inspect", bundle]) == 0
+    out = capsys.readouterr().out
+    assert "ShardedIndex" in out
+    assert "npy-dir" in out
+    assert "shard0.csa.sorted_idx" in out
+    assert main(["inspect", bundle, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["format_version"] == 2
+    assert summary["shards"] == 2
+
+
+def test_query_mmap_evaluates_the_bundle(bundle, capsys):
+    rc = main(["query", bundle, "--k", "5", "--batch", "--mmap"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "recall" in out
+    assert f"n={N}" in out
+
+
+def test_serve_answers_one_stdin_request(bundle, tmp_path, capsys):
+    rng = np.random.default_rng(0)
+    requests = tmp_path / "requests.jsonl"
+    requests.write_text(
+        json.dumps({"query": rng.normal(size=SIFT_DIM).tolist(), "k": 3})
+        + "\n"
+    )
+    rc = main(
+        [
+            "serve", bundle, "--mmap", "--threads", "2",
+            "--requests", str(requests),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    response = json.loads(captured.out.strip().splitlines()[-1])
+    assert len(response["ids"]) == 3
+    assert len(response["dists"]) == 3
+    assert response["dists"] == sorted(response["dists"])
+    assert "served 1 responses" in captured.err

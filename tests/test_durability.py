@@ -391,8 +391,8 @@ def test_corrupt_snapshot_falls_back_to_older(tmp_path):
     all_snaps = list_snapshots(wal_dir)
     assert len(all_snaps) >= 2
     newest = all_snaps[-1][1]
-    with open(os.path.join(newest, "arrays.npz"), "wb") as f:
-        f.write(b"this is not an npz")
+    with open(os.path.join(newest, "manifest.json"), "w") as f:
+        f.write("{this is not json")
     result = recover(wal_dir)
     assert result.snapshot_seq == all_snaps[-2][0]
     assert [path for path, _ in result.corrupt] == [newest]

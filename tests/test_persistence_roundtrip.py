@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import shutil
 
 import numpy as np
 import pytest
@@ -93,7 +94,7 @@ BUILDERS = {
 #: fallback
 NATIVE = {
     "LCCSLSH", "MPLCCSLSH", "DynamicLCCSLSH", "LinearScan", "ShardedIndex",
-    "SKLSH", "LSBForest", "SRS",
+    "QALSH", "SKLSH", "LSBForest", "SRS",
 }
 
 
@@ -144,9 +145,14 @@ def test_native_bundles_load_without_pickle(name, tmp_path, workload):
     index = BUILDERS[name]().fit(data)
     path = str(tmp_path / "bundle")
     save_index(index, path)
-    with np.load(os.path.join(path, "arrays.npz"), allow_pickle=False) as npz:
-        assert "__pickle__" not in npz.files
-        assert npz.files  # at least the data payload
+    manifest = read_manifest(path)
+    names = sorted(manifest["array_index"])
+    assert names  # at least the data payload
+    assert "__pickle__" not in names
+    for name_ in names:
+        entry = manifest["array_index"][name_]
+        arr = np.load(os.path.join(path, entry["file"]), allow_pickle=False)
+        assert list(arr.shape) == entry["shape"]
 
 
 def test_unfitted_index_roundtrip(tmp_path):
@@ -217,7 +223,8 @@ def test_cli_inspect_prints_manifest_and_arrays(tmp_path, workload, capsys):
     assert main(["inspect", path]) == 0
     out = capsys.readouterr().out
     assert "LCCSLSH" in out
-    assert "hash_strings" in out
+    assert "csa.sorted_idx" in out
+    assert "npy-dir" in out  # v2 layout reported
     assert "150x16" in out  # the data payload's shape
     # JSON mode emits the machine-readable summary.
     assert main(["inspect", path, "--json"]) == 0
@@ -274,9 +281,19 @@ def test_unknown_class_raises(bundle):
 
 
 def test_missing_arrays_raises(bundle):
-    os.remove(os.path.join(bundle, "arrays.npz"))
-    with pytest.raises(BundleError, match="arrays.npz"):
+    shutil.rmtree(os.path.join(bundle, "arrays"))
+    with pytest.raises(BundleError, match="missing array file"):
         load_index(bundle)
+
+
+def test_missing_arrays_npz_raises_v1(bundle, tmp_path, workload):
+    data, _ = workload
+    index = LCCSLSH(dim=DIM, m=16, w=2.0, seed=SEED).fit(data)
+    path = str(tmp_path / "v1bundle")
+    save_index(index, path, format_version=1)
+    os.remove(os.path.join(path, "arrays.npz"))
+    with pytest.raises(BundleError, match="arrays.npz"):
+        load_index(path)
 
 
 def test_missing_manifest_raises(bundle):
@@ -300,12 +317,14 @@ def test_read_manifest_on_plain_file_raises(tmp_path):
 
 def test_truncated_state_raises(bundle, tmp_path):
     """Dropping a required array from a native bundle is caught."""
-    npz_path = os.path.join(bundle, "arrays.npz")
-    with np.load(npz_path, allow_pickle=False) as npz:
-        kept = {k: npz[k] for k in npz.files if not k.startswith("family.")}
-    np.savez(npz_path, **kept)
+    arrays_dir = os.path.join(bundle, "arrays")
+    for name in os.listdir(arrays_dir):
+        if name.startswith("family."):
+            os.remove(os.path.join(arrays_dir, name))
     with pytest.raises(BundleError):
         load_index(bundle)
+    with pytest.raises(BundleError):
+        load_index(bundle, mmap=True)
 
 
 def test_save_refuses_file_path(bundle, tmp_path, workload):
