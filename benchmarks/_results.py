@@ -1,0 +1,115 @@
+"""Shared result-file conventions for the standalone bench scripts.
+
+Every ``benchmarks/bench_*.py`` that runs as a script (rather than under
+pytest) archives its measurements in two files under
+``benchmarks/results/``:
+
+* ``bench_<name>.json`` — machine-readable payload (workload knobs,
+  environment, raw numbers);
+* ``bench_<name>.md`` — human-readable summary with markdown tables.
+
+On top of that, ``trajectory.json`` aggregates the headline
+batched-query throughput across PRs so the repo's performance story is
+one file: each entry records the PR/bench that produced it, the
+workload, the kernel backend, and the measured QPS.  Append-only —
+re-running a bench adds a new entry rather than rewriting history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = [
+    "RESULTS_DIR",
+    "environment",
+    "write_results",
+    "append_trajectory",
+]
+
+
+def _cpu_model() -> Optional[str]:
+    """Processor model string from /proc/cpuinfo (None off-Linux)."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return None
+
+
+def environment() -> dict:
+    """Environment fingerprint embedded in every result file.
+
+    Records the CPU model and core count explicitly because throughput
+    claims (QPS, speedup-vs-numpy) are meaningless without them — a
+    single-core container and a 32-core workstation are different
+    experiments.
+    """
+    env = {
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    try:
+        import numba  # type: ignore
+
+        env["numba"] = numba.__version__
+    except ImportError:
+        env["numba"] = None
+    return env
+
+
+def write_results(name: str, payload: dict, markdown: str) -> Tuple[str, str]:
+    """Write ``bench_<name>.json`` + ``bench_<name>.md``; return paths."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, f"bench_{name}.json")
+    with open(json_path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    md_path = os.path.join(RESULTS_DIR, f"bench_{name}.md")
+    with open(md_path, "w", encoding="utf-8") as f:
+        f.write(markdown if markdown.endswith("\n") else markdown + "\n")
+    return json_path, md_path
+
+
+def append_trajectory(entry: dict) -> str:
+    """Append one headline-QPS entry to ``results/trajectory.json``.
+
+    The file holds ``{"entries": [...]}``; each entry should carry at
+    least ``bench``, ``workload``, ``backend`` and ``qps``.  A UTC
+    timestamp is stamped in automatically.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "trajectory.json")
+    doc = {"entries": []}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as f:
+                loaded = json.load(f)
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("entries"), list
+            ):
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # corrupt aggregator: start a fresh one, keep benching
+    stamped = dict(entry)
+    stamped.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    doc["entries"].append(stamped)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    return path

@@ -26,12 +26,17 @@ Subcommands:
   directory (snapshot + log replay) and optionally save it as a bundle.
 * ``theory`` — collision probabilities and Theorem 5.1's lambda for a
   parameter setting.
+* ``compare``/``build``/``query``/``serve``/``profile`` accept
+  ``--backend {numpy,numba,cext}`` to select the compiled kernel
+  backend for CSA search/merge/verify (defaults to the
+  ``REPRO_BACKEND`` environment variable, then numpy; an unavailable
+  backend silently falls back to numpy).
 
 Examples::
 
     python -m repro.cli datasets --n 2000
     python -m repro.cli compare --dataset sift --n 3000 --metric euclidean
-    python -m repro.cli compare --dataset sift --n 3000 --batch
+    python -m repro.cli compare --dataset sift --n 3000 --batch --backend cext
     python -m repro.cli build --dataset sift --n 20000 --method lccs \\
         --shards 4 --out sift.bundle
     python -m repro.cli query sift.bundle --queries 100 --k 10 --batch --mmap
@@ -676,12 +681,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import LCCSLSH
     from repro.data import compute_ground_truth, load_dataset
     from repro.eval import format_table
-    from repro.eval.profiler import profile_query
+    from repro.eval.profiler import profile_batch_query, profile_query
 
     ds = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     gt = compute_ground_truth(ds.data, ds.queries, k=10, metric="euclidean")
     w = 2.0 * float(np.mean(gt.distances))
     index = LCCSLSH(dim=ds.dim, m=args.m, w=w, seed=args.seed).fit(ds.data)
+    if args.batch:
+        rows = []
+        for lam in args.candidates:
+            prof = profile_batch_query(
+                index, ds.queries, k=10, num_candidates=lam
+            )
+            rows.append(
+                (
+                    lam,
+                    f"{prof.hash_s * 1e3:.2f}",
+                    f"{prof.search_s * 1e3:.2f}",
+                    f"{prof.merge_s * 1e3:.2f}",
+                    f"{prof.verify_s * 1e3:.2f}",
+                    f"{prof.total_s * 1e3:.2f}",
+                    f"{prof.qps:.0f}",
+                )
+            )
+        print(
+            f"dataset={args.dataset} n={ds.n} d={ds.dim} m={args.m} "
+            f"backend={index.kernel_backend} batch={ds.n_queries}\n"
+        )
+        print(
+            format_table(
+                ("lambda", "hash(ms)", "search(ms)", "merge(ms)",
+                 "verify(ms)", "total(ms)", "QPS"),
+                rows,
+            )
+        )
+        return 0
     rows = []
     for lam in args.candidates:
         profs = [
@@ -735,6 +769,15 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=("numpy", "numba", "cext"), default=None,
+        help="kernel backend for CSA search/merge/verify (default: the "
+        "REPRO_BACKEND env var, then numpy; an unavailable backend "
+        "silently falls back to numpy)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LCCS-LSH reproduction CLI"
@@ -765,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(reports throughput as QPS)",
     )
     p.add_argument("--seed", type=int, default=42)
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser(
@@ -792,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and report the open latency",
     )
     p.add_argument("--seed", type=int, default=42)
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser(
@@ -819,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reading it into RAM (v2 bundles)",
     )
     p.add_argument("--seed", type=int, default=None)
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
@@ -892,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
         "recovered snapshot, and replica bootstraps) opens without "
         "copying arrays into RAM",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -919,7 +966,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--candidates", type=int, nargs="+", default=[25, 100, 400]
     )
+    p.add_argument(
+        "--batch", action="store_true",
+        help="profile the vectorised batch path via the engine's own "
+        "per-stage instrumentation (reports the kernel backend and QPS)",
+    )
     p.add_argument("--seed", type=int, default=42)
+    _add_backend_arg(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("theory", help="collision/lambda calculations")
@@ -934,6 +987,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        from repro import kernels
+
+        kernels.set_default_backend(args.backend)
     return args.func(args)
 
 

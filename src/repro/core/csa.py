@@ -50,8 +50,18 @@ class ShiftBounds:
 class CircularShiftArray:
     """Index over circular shifts of equal-length integer strings.
 
+    The three batch hot paths (:meth:`_batch_search_arrays`,
+    :meth:`batch_search_all_shifts`, :meth:`_batch_merge_tournament`)
+    dispatch to a pluggable kernel backend (:mod:`repro.kernels`):
+    ``numpy`` is the always-available reference, ``numba``/``cext`` are
+    byte-identical compiled ports.  Single-query paths and the
+    multi-probe heap merge stay pure Python/NumPy.
+
     Args:
         strings: ``(n, m)`` integer array; row ``i`` is string ``T_i``.
+        backend: kernel backend name (see :func:`repro.kernels.
+            resolve_backend`); ``None`` applies the CLI/env/default
+            precedence chain.
 
     Attributes:
         n: number of strings.
@@ -63,7 +73,7 @@ class CircularShiftArray:
             ``sorted_idx[s]`` (the paper's ``N``).
     """
 
-    def __init__(self, strings: np.ndarray):
+    def __init__(self, strings: np.ndarray, backend: Optional[str] = None):
         strings = np.ascontiguousarray(strings)
         if strings.ndim != 2:
             raise ValueError(f"strings must be (n, m), got shape {strings.shape}")
@@ -76,6 +86,65 @@ class CircularShiftArray:
         # Doubled copies give O(1) zero-copy access to any rotation.
         self._doubled = np.concatenate([strings, strings], axis=1)
         self.sorted_idx, self.next_link = self._build()
+        from repro import kernels
+
+        self._backend = kernels.resolve_backend(backend)
+        self._kstate: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Kernel backend plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend answering batch searches/merges."""
+        return self._backend.name
+
+    def set_backend(self, backend: Optional[str]) -> str:
+        """Re-resolve the kernel backend; returns the resolved name.
+
+        Cheap (the compiled arrays cache survives), so benchmarks can
+        flip one built index between backends instead of rebuilding.
+        """
+        from repro import kernels
+
+        self._backend = kernels.resolve_backend(backend)
+        return self._backend.name
+
+    def __getstate__(self) -> dict:
+        """Pickle the backend by *name*: compiled backends hold
+        unpicklable handles (ctypes libraries, jitted functions)."""
+        state = self.__dict__.copy()
+        state["_backend"] = self._backend.name
+        state["_kstate"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        from repro import kernels
+
+        name = state.pop("_backend", None)
+        self.__dict__.update(state)
+        if name not in kernels.KNOWN_BACKENDS:
+            name = None  # pickles from other versions: use the default
+        self._backend = kernels.resolve_backend(name)
+        self._kstate = None
+
+    def _kernel_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """C-contiguous int64 ``(doubled, sorted_idx, next_link)``.
+
+        Compiled backends index these with raw pointers, so dtype and
+        layout are pinned here once per CSA (the build emits int32
+        indexes for compactness; memory-mapped bundles may be anything).
+        When the stored arrays already comply, the originals are
+        returned — no copy.
+        """
+        if self._kstate is None:
+            self._kstate = (
+                np.ascontiguousarray(self._doubled, dtype=np.int64),
+                np.ascontiguousarray(self.sorted_idx, dtype=np.int64),
+                np.ascontiguousarray(self.next_link, dtype=np.int64),
+            )
+        return self._kstate
 
     # ------------------------------------------------------------------
     # Construction (paper Algorithm 1, via rank doubling)
@@ -211,7 +280,9 @@ class CircularShiftArray:
 
         Returns ``(pos_lower, pos_upper, len_lower, len_upper)`` as four
         int64 arrays of length ``B`` — the allocation-free form the
-        batched query engine consumes.
+        batched query engine consumes.  Dispatches to the resolved
+        kernel backend (``numpy``/``numba``/``cext``, all
+        byte-identical).
         """
         shifts = np.asarray(shifts, dtype=np.int64)
         q_rots = np.ascontiguousarray(q_rots)
@@ -220,71 +291,7 @@ class CircularShiftArray:
             raise ValueError(
                 f"q_rots must have shape ({B}, {self.m}), got {q_rots.shape}"
             )
-        n, m = self.n, self.m
-        offsets = np.arange(m, dtype=np.int64)
-        lo = np.zeros(B, dtype=np.int64) if lo is None else np.array(lo, dtype=np.int64)
-        hi = np.full(B, n, dtype=np.int64) if hi is None else np.array(hi, dtype=np.int64)
-        # Two-stage lexicographic compare: most rotations differ within
-        # the first few characters, so each bisection step gathers a
-        # short prefix for every lane and touches the tail only for the
-        # few lanes whose prefix matches the query exactly.
-        pref = min(8, m)
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = (lo + hi) // 2
-            act_idx = np.flatnonzero(active)
-            ids = self.sorted_idx[shifts[act_idx], mid[act_idx]].astype(np.int64)
-            sh = shifts[act_idx]
-            rows_p = self._doubled[ids[:, None], sh[:, None] + offsets[:pref]]
-            qr_p = q_rots[act_idx[:, None], offsets[:pref]]
-            neq_p = rows_p != qr_p
-            has_p = neq_p.any(axis=1)
-            first_p = np.argmax(neq_p, axis=1)
-            take = np.arange(len(ids))
-            # row <= query  <=>  equal or first differing char smaller
-            le = np.empty(len(ids), dtype=bool)
-            le[has_p] = (
-                rows_p[take[has_p], first_p[has_p]]
-                < qr_p[take[has_p], first_p[has_p]]
-            )
-            eq_p = ~has_p
-            if eq_p.any():
-                if pref < m:
-                    sub = np.flatnonzero(eq_p)
-                    rows_t = self._doubled[
-                        ids[sub][:, None], sh[sub][:, None] + offsets[pref:]
-                    ]
-                    qr_t = q_rots[act_idx[sub][:, None], offsets[pref:]]
-                    neq_t = rows_t != qr_t
-                    has_t = neq_t.any(axis=1)
-                    first_t = np.argmax(neq_t, axis=1)
-                    tk = np.arange(len(sub))
-                    le[sub] = ~has_t | (rows_t[tk, first_t] < qr_t[tk, first_t])
-                else:
-                    le[eq_p] = True
-            lo[act_idx[le]] = mid[act_idx[le]] + 1
-            hi[act_idx[~le]] = mid[act_idx[~le]]
-        pos_upper = lo
-        pos_lower = lo - 1
-        len_lower = np.zeros(B, dtype=np.int64)
-        len_upper = np.zeros(B, dtype=np.int64)
-        for which, pos, out in (
-            ("lower", pos_lower, len_lower),
-            ("upper", pos_upper, len_upper),
-        ):
-            valid = (pos >= 0) & (pos < n)
-            if valid.any():
-                ids = self.sorted_idx[shifts[valid], pos[valid]].astype(np.int64)
-                rows = self._doubled[
-                    ids[:, None], shifts[valid][:, None] + offsets
-                ]
-                neq = rows != q_rots[valid]
-                has_neq = neq.any(axis=1)
-                first = np.argmax(neq, axis=1)
-                out[valid] = np.where(has_neq, first, m)
-        return pos_lower, pos_upper, len_lower, len_upper
+        return self._backend.search_lanes(self, shifts, q_rots, lo=lo, hi=hi)
 
     def search_all_shifts(self, query: np.ndarray) -> List[ShiftBounds]:
         """Phase 1 of Algorithm 2: bounds at every shift.
@@ -340,36 +347,8 @@ class CircularShiftArray:
             raise ValueError(
                 f"queries must be (Q, m={self.m}), got shape {queries.shape}"
             )
-        Q = len(queries)
-        n, m = self.n, self.m
         qds = np.concatenate([queries, queries], axis=1)
-        pos_lower = np.empty((Q, m), dtype=np.int64)
-        pos_upper = np.empty((Q, m), dtype=np.int64)
-        len_lower = np.empty((Q, m), dtype=np.int64)
-        len_upper = np.empty((Q, m), dtype=np.int64)
-        for s in range(m):
-            if s == 0 or Q == 0:
-                lo = hi = None
-            else:
-                windowed = (len_lower[:, s - 1] >= 1) & (len_upper[:, s - 1] >= 1)
-                nl = self.next_link[s - 1]
-                # Clip guards the gather where a bound does not exist;
-                # those lanes are masked out below anyway.
-                window_lo = nl[np.clip(pos_lower[:, s - 1], 0, n - 1)].astype(np.int64)
-                window_hi = nl[np.clip(pos_upper[:, s - 1], 0, n - 1)].astype(np.int64)
-                bad = window_lo > window_hi  # defensive; cannot happen per Lemma 3.1
-                window_lo = np.where(bad, 0, window_lo)
-                window_hi = np.where(bad, n - 1, window_hi)
-                lo = np.where(windowed, window_lo, 0)
-                hi = np.where(windowed, window_hi + 1, n)
-            pl, pu, ll, lu = self._batch_search_arrays(
-                np.full(Q, s, dtype=np.int64), qds[:, s : s + m], lo=lo, hi=hi
-            )
-            pos_lower[:, s] = pl
-            pos_upper[:, s] = pu
-            len_lower[:, s] = ll
-            len_upper[:, s] = lu
-        return pos_lower, pos_upper, len_lower, len_upper
+        return self._backend.search_all(self, qds)
 
     # ------------------------------------------------------------------
     # k-LCCS search (paper Algorithm 2)
@@ -525,14 +504,14 @@ class CircularShiftArray:
         Python at all.  Per query the output is identical to
         :meth:`merge_candidates`.
         """
-        pos_lower, pos_upper, len_lower, len_upper = bounds_arrays
+        pos_lower, _pos_upper, _len_lower, _len_upper = bounds_arrays
         Q = len(pos_lower)
         m, n = self.m, self.n
         if Q == 0:
             return []
         # Pack (m - lcp, sid, shift, rank) into one int64 so the round
-        # pick is a single argmin.  Falls back to the heap merge for
-        # gigantic indexes where the fields no longer fit 62 bits.
+        # pick is a single argmin/heap-min.  Falls back to the heap merge
+        # for gigantic indexes where the fields no longer fit 62 bits.
         bits_pos = max(1, int(n - 1).bit_length())
         bits_shift = max(1, int(m - 1).bit_length())
         bits_sid = bits_pos
@@ -541,101 +520,13 @@ class CircularShiftArray:
             return self._batch_merge_heap(
                 qd_table, bounds_arrays, k, [[] for _ in range(Q)]
             )
-        # Bound the dedupe bitmap to ~64 MB by splitting huge batches.
-        max_q = max(1, (1 << 26) // max(1, n))
-        if Q > max_q:
-            out: List[Tuple[np.ndarray, np.ndarray]] = []
-            for start in range(0, Q, max_q):
-                stop = min(Q, start + max_q)
-                out.extend(
-                    self._batch_merge_tournament(
-                        qd_table[start:stop],
-                        tuple(a[start:stop] for a in bounds_arrays),
-                        k,
-                    )
-                )
-            return out
         # packed-key layout: pos occupies the low bits_pos bits
         sh_shift = bits_pos
         sh_sid = sh_shift + bits_shift
         sh_len = sh_sid + bits_sid
-        dead = np.iinfo(np.int64).max
-        sorted_idx = self.sorted_idx
-        offsets = np.arange(m, dtype=np.int64)
-        # Walk state, interleaved (lower, upper) per shift: (Q, 2m).
-        wpos = np.empty((Q, 2 * m), dtype=np.int64)
-        wpos[:, 0::2] = pos_lower
-        wpos[:, 1::2] = pos_upper
-        wlen = np.empty((Q, 2 * m), dtype=np.int64)
-        wlen[:, 0::2] = len_lower
-        wlen[:, 1::2] = len_upper
-        alive = np.empty((Q, 2 * m), dtype=bool)
-        alive[:, 0::2] = pos_lower >= 0
-        alive[:, 1::2] = pos_upper < n
-        wshift = np.repeat(np.arange(m, dtype=np.int64), 2)
-        wdir = np.tile(np.array([-1, 1], dtype=np.int64), m)
-        wsid = sorted_idx[
-            wshift[None, :], np.clip(wpos, 0, n - 1)
-        ].astype(np.int64)
-        keys = (
-            ((m - wlen) << sh_len)
-            | (wsid << sh_sid)
-            | (wshift[None, :] << sh_shift)
-            | np.clip(wpos, 0, n - 1)
+        return self._backend.merge_tournament(
+            self, qd_table, bounds_arrays, k, (sh_shift, sh_sid, sh_len)
         )
-        keys[~alive] = dead
-        seen = np.zeros((Q, n), dtype=bool)
-        out_ids = np.empty((Q, min(k, n)), dtype=np.int64)
-        out_lens = np.empty((Q, min(k, n)), dtype=np.int64)
-        cnt = np.zeros(Q, dtype=np.int64)
-        act = np.flatnonzero(alive.any(axis=1))
-        while len(act):
-            sub = keys[act]
-            best = np.argmin(sub, axis=1)
-            live = sub[np.arange(len(act)), best] != dead
-            act = act[live]
-            best = best[live]
-            if not len(act):
-                break
-            s = wshift[best]
-            d = wdir[best]
-            pos = wpos[act, best]
-            ln = wlen[act, best]
-            sid = wsid[act, best]
-            fresh = ~seen[act, sid]
-            seen[act, sid] = True
-            emit_q = act[fresh]
-            out_ids[emit_q, cnt[emit_q]] = sid[fresh]
-            out_lens[emit_q, cnt[emit_q]] = ln[fresh]
-            cnt[emit_q] += 1
-            npos = pos + d
-            inb = (npos >= 0) & (npos < n)
-            keys[act[~inb], best[~inb]] = dead
-            adv_q = act[inb]
-            if len(adv_q):
-                adv_w = best[inb]
-                a_pos = npos[inb]
-                a_s = s[inb]
-                nsid = sorted_idx[a_s, a_pos].astype(np.int64)
-                windows = a_s[:, None] + offsets
-                rows = self._doubled[nsid[:, None], windows]
-                neq = rows != qd_table[adv_q[:, None], windows]
-                has_neq = neq.any(axis=1)
-                nlen = np.where(has_neq, np.argmax(neq, axis=1), m)
-                wpos[adv_q, adv_w] = a_pos
-                wlen[adv_q, adv_w] = nlen
-                wsid[adv_q, adv_w] = nsid
-                keys[adv_q, adv_w] = (
-                    ((m - nlen) << sh_len)
-                    | (nsid << sh_sid)
-                    | (a_s << sh_shift)
-                    | a_pos
-                )
-            act = act[cnt[act] < k]
-        return [
-            (out_ids[qi, : cnt[qi]].copy(), out_lens[qi, : cnt[qi]].copy())
-            for qi in range(Q)
-        ]
 
     def _batch_merge_heap(
         self,
@@ -830,7 +721,12 @@ class CircularShiftArray:
         }
 
     @classmethod
-    def from_arrays(cls, arrays, source: str = "<arrays>") -> "CircularShiftArray":
+    def from_arrays(
+        cls,
+        arrays,
+        source: str = "<arrays>",
+        backend: Optional[str] = None,
+    ) -> "CircularShiftArray":
         """Rebuild a CSA from :meth:`export_arrays` output without re-sorting.
 
         Accepts the native layout (``doubled``/``sorted_idx``/``next_link``)
@@ -874,6 +770,10 @@ class CircularShiftArray:
             raise ValueError(f"{source} has inconsistent array shapes")
         obj.sorted_idx = sorted_idx
         obj.next_link = next_link
+        from repro import kernels
+
+        obj._backend = kernels.resolve_backend(backend)
+        obj._kstate = None
         return obj
 
     def save_npz(self, path: str) -> None:

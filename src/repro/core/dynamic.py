@@ -149,6 +149,31 @@ class DynamicLCCSLSH(ANNIndex):
     def buffer_size(self) -> int:
         return len(self._state.buffer)
 
+    @property
+    def kernel_backend(self) -> str:
+        """Kernel backend of the inner CSA (resolved default before fit)."""
+        inner = self._state.inner
+        if inner is not None:
+            return inner.kernel_backend
+        from repro.kernels import resolve_backend
+
+        return resolve_backend(self._lccs_kwargs.get("backend")).name
+
+    def set_kernel_backend(self, backend: Optional[str]) -> str:
+        """Switch backends on the live inner index AND the rebuild recipe.
+
+        Both must change together: the current epoch's CSA re-resolves
+        immediately, and ``_lccs_kwargs`` carries the choice into every
+        future rebuild's fresh inner index.
+        """
+        self._lccs_kwargs["backend"] = backend
+        inner = self._state.inner
+        if inner is not None:
+            return inner.set_kernel_backend(backend)
+        from repro.kernels import resolve_backend
+
+        return resolve_backend(backend).name
+
     def _fit(self, data: np.ndarray) -> None:
         self._store = np.array(data, dtype=np.float64, copy=True)
         self._size = len(data)
@@ -326,28 +351,51 @@ class DynamicLCCSLSH(ANNIndex):
                     np.repeat(queries[start:stop], nb, axis=0),
                     self.metric,
                 ).reshape(stop - start, nb)
+        # Vectorised result merge: one padded (distance, handle) matrix
+        # per batch, one tombstone mask, one batched row-wise sort —
+        # instead of per-query Python tuple lists (which eroded batch
+        # gains as the insert buffer grew).  Sorting by (distance,
+        # handle) matches the tuple sort of the single-query path
+        # exactly, so results remain bit-identical.
+        self.last_stats["buffer_scanned"] = float(len(buffer)) * Q
+        nb = len(live_buffer)
+        inner_counts = np.array(
+            [len(ids) for ids, _ in inner_results], dtype=np.int64
+        )
+        w_inner = int(inner_counts.max()) if Q else 0
+        width = w_inner + nb
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        if width == 0 or Q == 0:
+            return [empty for _ in range(Q)]
+        pad = np.int64(1) << 62  # sorts after every real handle
+        handles = np.full((Q, width), pad, dtype=np.int64)
+        dists = np.full((Q, width), np.inf)
+        for qi in range(Q):
+            ids, d = inner_results[qi]
+            if len(ids):
+                handles[qi, : len(ids)] = state.indexed_handles[ids]
+                dists[qi, : len(ids)] = d
+        if state.dead and w_inner:
+            dead_arr = np.fromiter(
+                state.dead, dtype=np.int64, count=len(state.dead)
+            )
+            tomb = np.isin(handles[:, :w_inner], dead_arr)
+            handles[:, :w_inner][tomb] = pad
+            dists[:, :w_inner][tomb] = np.inf
+        if nb:
+            handles[:, w_inner:] = np.asarray(live_buffer, dtype=np.int64)[None, :]
+            dists[:, w_inner:] = buffer_dists
+        row_idx = np.repeat(np.arange(Q, dtype=np.int64), width)
+        perm = np.lexsort((handles.ravel(), dists.ravel(), row_idx))
+        handles_sorted = handles.ravel()[perm].reshape(Q, width)
+        dists_sorted = dists.ravel()[perm].reshape(Q, width)
+        valid = (handles != pad).sum(axis=1)
         out: List[Tuple[np.ndarray, np.ndarray]] = []
         for qi in range(Q):
-            inner_ids, inner_dists = inner_results[qi]
-            pairs = [
-                (float(d), int(state.indexed_handles[i]))
-                for i, d in zip(inner_ids, inner_dists)
-                if int(state.indexed_handles[i]) not in state.dead
-            ]
-            if live_buffer:
-                pairs.extend(
-                    (float(buffer_dists[qi, j]), h)
-                    for j, h in enumerate(live_buffer)
-                )
-            pairs.sort()
-            top = pairs[:k]
+            take = min(k, int(valid[qi]))
             out.append(
-                (
-                    np.array([h for _, h in top], dtype=np.int64),
-                    np.array([d for d, _ in top]),
-                )
+                (handles_sorted[qi, :take].copy(), dists_sorted[qi, :take].copy())
             )
-        self.last_stats["buffer_scanned"] = float(len(buffer)) * Q
         return out
 
     def index_size_bytes(self) -> int:

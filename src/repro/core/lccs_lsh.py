@@ -13,6 +13,7 @@ time and defaults to a small multiple of ``sqrt(n)``.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -20,6 +21,7 @@ import numpy as np
 from repro.base import ANNIndex
 from repro.core.csa import CircularShiftArray
 from repro.hashes import HashFamily, make_family
+from repro.kernels import verify as kernel_verify
 
 __all__ = ["LCCSLSH"]
 
@@ -39,6 +41,13 @@ class LCCSLSH(ANNIndex):
         w: bucket width when the random projection family is built.
         cp_dim: cross-polytope dimension when that family is built.
         seed: RNG seed.
+        backend: kernel backend name (``"numpy"``/``"numba"``/``"cext"``,
+            see :mod:`repro.kernels`); ``None`` applies the CLI/env
+            precedence chain.  Every backend answers byte-identically.
+        verify_dtype: ``"float64"`` (default, exact) or ``"float32"``
+            (opt-in: candidates are screened with reduced-precision
+            distances and the surviving top-``k`` margin re-ranked with
+            the exact float64 kernel).
 
     Example:
         >>> import numpy as np
@@ -60,11 +69,19 @@ class LCCSLSH(ANNIndex):
         w: float = 4.0,
         cp_dim: int = 32,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
+        verify_dtype: str = "float64",
     ):
         super().__init__(dim, metric, seed)
         if m <= 1:
             raise ValueError("hash-string length m must exceed 1")
+        if verify_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"verify_dtype must be 'float64' or 'float32', got {verify_dtype!r}"
+            )
         self.m = int(m)
+        self.backend = backend
+        self.verify_dtype = verify_dtype
         if family is not None:
             if family.dim != dim or family.m != m:
                 raise ValueError(
@@ -84,7 +101,33 @@ class LCCSLSH(ANNIndex):
 
     def _fit(self, data: np.ndarray) -> None:
         self.hash_strings = self.family.hash(data)
-        self.csa = CircularShiftArray(self.hash_strings)
+        self.csa = CircularShiftArray(self.hash_strings, backend=self.backend)
+        # Verification caches are keyed on the data array; drop stale ones.
+        self._kv_packed = None
+        self._kv_data32 = None
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend currently answering queries."""
+        if self.csa is not None:
+            return self.csa.backend_name
+        from repro.kernels import resolve_backend
+
+        return resolve_backend(self.backend).name
+
+    def set_kernel_backend(self, backend: Optional[str]) -> str:
+        """Switch kernel backends in place; returns the resolved name.
+
+        Cheap (no rebuild), which is how benchmarks compare backends on
+        one index and how operators can force ``"numpy"`` on a machine
+        whose compiled backend misbehaves.
+        """
+        self.backend = backend
+        if self.csa is not None:
+            return self.csa.set_backend(backend)
+        from repro.kernels import resolve_backend
+
+        return resolve_backend(backend).name
 
     def default_candidates(self, k: int) -> int:
         """Default ``lambda``: ``ceil(sqrt(n)) + k - 1``, clamped to n.
@@ -104,10 +147,19 @@ class LCCSLSH(ANNIndex):
             raise ValueError("num_candidates must be positive")
         # The paper's (lambda + k - 1)-LCCS search.
         budget = min(self.n, num_candidates + k - 1)
+        t0 = time.perf_counter()
         query_string = self.family.hash(q)
-        cand_ids, lccs_lens = self.csa.k_lccs(query_string, budget)
+        t1 = time.perf_counter()
+        bounds = self.csa.search_all_shifts(query_string)
+        t2 = time.perf_counter()
+        qd = self.csa.query_rotations(query_string)
+        cand_ids, lccs_lens = self.csa.merge_candidates(qd, bounds, budget)
+        t3 = time.perf_counter()
         self.last_stats["max_lccs"] = int(lccs_lens[0]) if len(lccs_lens) else 0
-        return self._verify(cand_ids, q, k)
+        out = self._verify(cand_ids, q, k)
+        t4 = time.perf_counter()
+        self._record_stages(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        return out
 
     def _batch_query(
         self, queries: np.ndarray, k: int, num_candidates: Optional[int] = None
@@ -124,12 +176,53 @@ class LCCSLSH(ANNIndex):
         if num_candidates <= 0:
             raise ValueError("num_candidates must be positive")
         budget = min(self.n, num_candidates + k - 1)
+        t0 = time.perf_counter()
         query_strings = self.family.hash(queries)
-        merged = self.csa.batch_k_lccs(query_strings, budget)
+        t1 = time.perf_counter()
+        bounds = self.csa.batch_search_all_shifts(query_strings)
+        t2 = time.perf_counter()
+        qds = np.concatenate([query_strings, query_strings], axis=1)
+        merged = self.csa.batch_merge_candidates(qds, bounds, budget)
+        t3 = time.perf_counter()
         self.last_stats["max_lccs"] = float(
             sum(int(lens[0]) if len(lens) else 0 for _, lens in merged)
         )
-        return self._verify_batch([ids for ids, _ in merged], queries, k)
+        out = self._verify_batch([ids for ids, _ in merged], queries, k)
+        t4 = time.perf_counter()
+        self._record_stages(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        return out
+
+    def _record_stages(
+        self, hash_s: float, search_s: float, merge_s: float, verify_s: float
+    ) -> None:
+        """Accumulate per-stage wall-clock into ``last_stats``.
+
+        Keys are ``stage_{hash,search,merge,verify}_s``; the profiler
+        and benchmark reports read them to attribute backend speedups
+        per stage.
+        """
+        for key, val in (
+            ("stage_hash_s", hash_s),
+            ("stage_search_s", search_s),
+            ("stage_merge_s", merge_s),
+            ("stage_verify_s", verify_s),
+        ):
+            self.last_stats[key] = self.last_stats.get(key, 0.0) + float(val)
+
+    def _verify_batch(
+        self, candidate_ids_per_query, queries: np.ndarray, k: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Backend-aware verification (packed popcount / fused gather).
+
+        CSA merges emit duplicate-free candidate lists, which is what
+        lets :func:`repro.kernels.verify.verify_batch` skip the
+        re-unique pass; results stay byte-identical to the base
+        implementation for every backend.
+        """
+        backend = self.csa._backend if self.csa is not None else None
+        return kernel_verify.verify_batch(
+            self, backend, candidate_ids_per_query, queries, k
+        )
 
     # ------------------------------------------------------------------
 
@@ -190,7 +283,12 @@ class LCCSLSH(ANNIndex):
 
     def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
         family_meta, family_arrays = self.family.export_state()
-        state = {"m": self.m, "family": family_meta}
+        state = {
+            "m": self.m,
+            "family": family_meta,
+            "backend": self.backend,
+            "verify_dtype": self.verify_dtype,
+        }
         arrays = {f"family.{key}": val for key, val in family_arrays.items()}
         if self._data is not None:
             arrays["data"] = self._data
@@ -234,15 +332,22 @@ class LCCSLSH(ANNIndex):
         }
         if csa_arrays:
             index.csa = CircularShiftArray.from_arrays(
-                csa_arrays, source="<csa>"
+                csa_arrays, source="<csa>", backend=index.backend
             )
             index.hash_strings = index.csa.strings
         elif "hash_strings" in arrays:  # pre-v2 bundle: rebuild the CSA
             index.hash_strings = arrays["hash_strings"]
-            index.csa = CircularShiftArray(index.hash_strings)
+            index.csa = CircularShiftArray(
+                index.hash_strings, backend=index.backend
+            )
+        index._kv_packed = None
+        index._kv_data32 = None
         return index
 
     @classmethod
     def _extra_init_kwargs(cls, state: dict) -> dict:
         """Constructor kwargs subclasses add on import (hook for MP)."""
-        return {}
+        return {
+            "backend": state.get("backend"),
+            "verify_dtype": state.get("verify_dtype", "float64"),
+        }

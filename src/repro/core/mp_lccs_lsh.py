@@ -19,6 +19,7 @@ the query hash string against the same CSA.  Per paper:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -85,11 +86,13 @@ class MPLCCSLSH(LCCSLSH):
 
     @classmethod
     def _extra_init_kwargs(cls, state: dict) -> dict:
-        return {
-            "n_probes": int(state["n_probes"]),
-            "max_gap": int(state["max_gap"]),
-            "max_alternatives": int(state["max_alternatives"]),
-        }
+        kwargs = dict(super()._extra_init_kwargs(state))
+        kwargs.update(
+            n_probes=int(state["n_probes"]),
+            max_gap=int(state["max_gap"]),
+            max_alternatives=int(state["max_alternatives"]),
+        )
+        return kwargs
 
     # ------------------------------------------------------------------
 
@@ -200,6 +203,7 @@ class MPLCCSLSH(LCCSLSH):
         budget = min(self.n, num_candidates + k - 1)
         Q = len(queries)
         m, n = self.m, self.n
+        t0 = time.perf_counter()
         codes_rows: List[np.ndarray] = []
         alt_codes_rows: list = []
         alt_scores_rows: list = []
@@ -215,6 +219,7 @@ class MPLCCSLSH(LCCSLSH):
             if Q
             else np.empty((0, m), dtype=np.int64)
         )
+        t1 = time.perf_counter()
         # Probe 0 of every query: one batched windowed pass.
         bounds = self.csa.batch_search_all_shifts(codes_mat)
         _, _, len_lower, len_upper = bounds
@@ -261,12 +266,17 @@ class MPLCCSLSH(LCCSLSH):
                     extra_entries[qi].append((int(pll[i]), s, int(ppl[i]), -1, row))
                 if ppu[i] < n:
                     extra_entries[qi].append((int(plu[i]), s, int(ppu[i]), +1, row))
+        t2 = time.perf_counter()
         merged = self.csa.batch_merge_candidates(
             qd_table, bounds, budget, extra_entries=extra_entries
         )
+        t3 = time.perf_counter()
         self.last_stats["probes"] = float(n_probes) * Q
         self.last_stats["probe_searches"] = float(n_searches)
         self.last_stats["max_lccs"] = float(
             sum(int(lens[0]) if len(lens) else 0 for _, lens in merged)
         )
-        return self._verify_batch([ids for ids, _ in merged], queries, k)
+        out = self._verify_batch([ids for ids, _ in merged], queries, k)
+        t4 = time.perf_counter()
+        self._record_stages(t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        return out

@@ -7,9 +7,11 @@ from repro.distances.metrics import (
     euclidean,
     get_metric,
     hamming,
+    hamming_packed,
     jaccard,
     manhattan,
     normalize_rows,
+    pack_bits,
     pairwise,
     pairwise_cross,
     pairwise_rows,
@@ -23,9 +25,11 @@ __all__ = [
     "euclidean",
     "get_metric",
     "hamming",
+    "hamming_packed",
     "jaccard",
     "manhattan",
     "normalize_rows",
+    "pack_bits",
     "pairwise",
     "pairwise_cross",
     "pairwise_rows",

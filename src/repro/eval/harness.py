@@ -317,5 +317,18 @@ def evaluate_service(
         index_size_mb=index.index_size_bytes() / (1024.0 * 1024.0),
         qps=nq / elapsed if elapsed > 0 else float("inf"),
         params=params,
-        stats={key: float(val) for key, val in service_stats.items()},
+        # Service stats now include non-numeric entries (kernel_backend);
+        # record them in params and keep the numeric stats contract.
+        stats=_numeric_stats(service_stats, params),
     )
+
+
+def _numeric_stats(stats: dict, params: dict) -> Dict[str, float]:
+    """Split stats into floats (returned) and labels (moved to params)."""
+    out: Dict[str, float] = {}
+    for key, val in stats.items():
+        try:
+            out[key] = float(val)
+        except (TypeError, ValueError):
+            params.setdefault(key, val)
+    return out

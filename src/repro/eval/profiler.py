@@ -10,6 +10,15 @@ Breaks one query into the paper's cost components (§5.2):
 
 Useful for diagnosing which regime a configuration is in (e.g. Table 1's
 ``alpha`` settings trade ``verify`` against ``search``/``merge``).
+
+Two entry points:
+
+* :func:`profile_query` replays one single-probe query phase by phase;
+* :func:`profile_batch_query` runs the vectorised batch path once and
+  reads the per-stage wall-clock the engine itself records in
+  ``last_stats`` (``stage_{hash,search,merge,verify}_s``) — the same
+  numbers ``evaluate(...)`` surfaces, which is what makes kernel-backend
+  speedups attributable per stage.
 """
 
 from __future__ import annotations
@@ -22,7 +31,12 @@ import numpy as np
 
 from repro.core.lccs_lsh import LCCSLSH
 
-__all__ = ["QueryProfile", "profile_query"]
+__all__ = [
+    "QueryProfile",
+    "profile_query",
+    "BatchQueryProfile",
+    "profile_batch_query",
+]
 
 
 @dataclass(frozen=True)
@@ -95,4 +109,68 @@ def profile_query(
         verify_ms=t_verify * 1e3,
         candidates=len(cand_ids),
         max_lccs=int(lccs_lens[0]) if len(lccs_lens) else 0,
+    )
+
+
+@dataclass(frozen=True)
+class BatchQueryProfile:
+    """Per-stage wall-clock (seconds) for one ``batch_query`` call."""
+
+    backend: str
+    num_queries: int
+    hash_s: float
+    search_s: float
+    merge_s: float
+    verify_s: float
+    total_s: float
+    candidates: float
+
+    @property
+    def qps(self) -> float:
+        return self.num_queries / self.total_s if self.total_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_queries": float(self.num_queries),
+            "hash_s": self.hash_s,
+            "search_s": self.search_s,
+            "merge_s": self.merge_s,
+            "verify_s": self.verify_s,
+            "total_s": self.total_s,
+            "qps": self.qps,
+            "candidates": self.candidates,
+        }
+
+
+def profile_batch_query(
+    index: LCCSLSH,
+    queries: np.ndarray,
+    k: int = 10,
+    num_candidates: Optional[int] = None,
+) -> BatchQueryProfile:
+    """Run one vectorised ``batch_query`` and attribute time per stage.
+
+    Stage times come straight from the engine's own instrumentation
+    (``last_stats['stage_*_s']``, recorded inside ``_batch_query``), so
+    the breakdown reflects exactly what the selected kernel backend
+    executed — no replaying, no double work.  ``total_s`` is the end to
+    end wall-clock of the call (it can exceed the stage sum slightly due
+    to result assembly).
+    """
+    if index.csa is None:
+        raise RuntimeError("index must be fitted before profiling")
+    queries = np.asarray(queries)
+    start = time.perf_counter()
+    index.batch_query(queries, k, num_candidates=num_candidates)
+    total = time.perf_counter() - start
+    stats = index.last_stats
+    return BatchQueryProfile(
+        backend=getattr(index, "kernel_backend", "numpy"),
+        num_queries=len(queries),
+        hash_s=float(stats.get("stage_hash_s", 0.0)),
+        search_s=float(stats.get("stage_search_s", 0.0)),
+        merge_s=float(stats.get("stage_merge_s", 0.0)),
+        verify_s=float(stats.get("stage_verify_s", 0.0)),
+        total_s=total,
+        candidates=float(stats.get("candidates", 0.0)),
     )

@@ -1,0 +1,543 @@
+"""C kernel backend: compiled on first use, loaded through ``ctypes``.
+
+Same algorithms as :mod:`repro.kernels.reference` expressed as plain
+C99 loops.  The source below is compiled once per machine with the
+system C compiler (``cc``/``gcc``/``clang``, whichever answers) into a
+shared object cached under ``~/.cache/repro-kernels/`` keyed by a hash
+of the source, so subsequent imports pay only a ``dlopen``.  No build
+step, no new dependency: when no compiler is present the backend
+reports itself unavailable and the registry falls back to NumPy.
+
+Byte-identity notes (why the C loops cannot diverge):
+
+* the CSA kernels compare and copy **int64 hash characters** only —
+  integer comparisons have one answer on every platform;
+* the merge orders walks by the same packed ``(-lcp, sid, shift,
+  rank)`` int64 keys the reference builds, decoded back from the key;
+* verification never re-computes float distances: ``gather_diff`` only
+  performs the IEEE-exact elementwise subtraction (the reduction stays
+  on the shared NumPy ``einsum``), ``topk_select`` only *compares*
+  float64 values produced by the shared kernels, and the popcount path
+  is integer-exact.  The whole file is compiled without
+  ``-ffast-math``; there is no floating-point arithmetic to contract.
+
+All entry points are pure functions over caller-owned buffers (the
+only scratch is a per-call heap), so parallel readers behind
+``ConcurrentIndex`` can run them concurrently — ``ctypes`` drops the
+GIL for the duration of each call.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["make_cext_backend", "CExtBackend"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+static int64_t clip64(int64_t v, int64_t lo, int64_t hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/* Lexicographic compare of a stored rotation against a rotated query.
+   Returns -1/0/+1; *lcp gets the first-mismatch index (m when equal). */
+static int cmp_rot(const int64_t *row, const int64_t *q, int64_t m,
+                   int64_t *lcp) {
+    int64_t j;
+    for (j = 0; j < m; j++) {
+        if (row[j] != q[j]) {
+            if (lcp) *lcp = j;
+            return row[j] < q[j] ? -1 : 1;
+        }
+    }
+    if (lcp) *lcp = m;
+    return 0;
+}
+
+static void search_one(const int64_t *doubled, const int64_t *idxs,
+                       int64_t n, int64_t m, int64_t s, const int64_t *q,
+                       int64_t lo, int64_t hi, int64_t *pl, int64_t *pu,
+                       int64_t *ll, int64_t *lu) {
+    int64_t two_m = 2 * m;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        const int64_t *row = doubled + idxs[mid] * two_m + s;
+        if (cmp_rot(row, q, m, 0) <= 0) lo = mid + 1; else hi = mid;
+    }
+    *pu = lo;
+    *pl = lo - 1;
+    *ll = 0;
+    *lu = 0;
+    if (*pl >= 0)
+        cmp_rot(doubled + idxs[*pl] * two_m + s, q, m, ll);
+    if (*pu < n)
+        cmp_rot(doubled + idxs[*pu] * two_m + s, q, m, lu);
+}
+
+/* Kernel 1a: independent windowed bisections (the multi-probe lanes). */
+void repro_search_lanes(const int64_t *doubled, const int64_t *sorted_idx,
+                        int64_t n, int64_t m, int64_t B,
+                        const int64_t *shifts, const int64_t *q_rots,
+                        const int64_t *lo_in, const int64_t *hi_in,
+                        int64_t *pos_lower, int64_t *pos_upper,
+                        int64_t *len_lower, int64_t *len_upper) {
+    int64_t b;
+    for (b = 0; b < B; b++) {
+        int64_t s = shifts[b];
+        search_one(doubled, sorted_idx + s * n, n, m, s, q_rots + b * m,
+                   lo_in[b], hi_in[b], pos_lower + b, pos_upper + b,
+                   len_lower + b, len_upper + b);
+    }
+}
+
+/* Kernel 1b: phase 1 of Algorithm 2 for a whole batch, with Lemma 3.1
+   windowing through the next links. */
+void repro_search_all(const int64_t *doubled, const int64_t *sorted_idx,
+                      const int64_t *next_link, int64_t n, int64_t m,
+                      int64_t Q, const int64_t *qds, int64_t *pos_lower,
+                      int64_t *pos_upper, int64_t *len_lower,
+                      int64_t *len_upper) {
+    int64_t qi, s;
+    for (qi = 0; qi < Q; qi++) {
+        const int64_t *qd = qds + qi * 2 * m;
+        int64_t *pl = pos_lower + qi * m;
+        int64_t *pu = pos_upper + qi * m;
+        int64_t *ll = len_lower + qi * m;
+        int64_t *lu = len_upper + qi * m;
+        for (s = 0; s < m; s++) {
+            int64_t lo = 0, hi = n;
+            if (s > 0 && ll[s - 1] >= 1 && lu[s - 1] >= 1) {
+                const int64_t *nl = next_link + (s - 1) * n;
+                int64_t wlo = nl[clip64(pl[s - 1], 0, n - 1)];
+                int64_t whi = nl[clip64(pu[s - 1], 0, n - 1)];
+                if (wlo > whi) { wlo = 0; whi = n - 1; } /* defensive */
+                lo = wlo;
+                hi = whi + 1;
+            }
+            search_one(doubled, sorted_idx + s * n, n, m, s, qd + s, lo, hi,
+                       pl + s, pu + s, ll + s, lu + s);
+        }
+    }
+}
+
+static void sift_down(uint64_t *hkey, int32_t *hdir, int64_t hs, int64_t i) {
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, sm = i;
+        if (l < hs && hkey[l] < hkey[sm]) sm = l;
+        if (r < hs && hkey[r] < hkey[sm]) sm = r;
+        if (sm == i) return;
+        uint64_t tk = hkey[i]; hkey[i] = hkey[sm]; hkey[sm] = tk;
+        int32_t td = hdir[i]; hdir[i] = hdir[sm]; hdir[sm] = td;
+        i = sm;
+    }
+}
+
+static void sift_up(uint64_t *hkey, int32_t *hdir, int64_t i) {
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (hkey[p] <= hkey[i]) return;
+        uint64_t tk = hkey[i]; hkey[i] = hkey[p]; hkey[p] = tk;
+        int32_t td = hdir[i]; hdir[i] = hdir[p]; hdir[p] = td;
+        i = p;
+    }
+}
+
+/* Kernel 2: walk-tournament merge with packed (-lcp, sid, shift, rank)
+   keys.  hkey/hdir are caller scratch of size 2m; seen_epoch is a
+   caller-zeroed int32[n].  All fields decode back from the key, so the
+   heap carries only (key, direction). */
+void repro_merge_tournament(const int64_t *doubled, const int64_t *sorted_idx,
+                            int64_t n, int64_t m, int64_t Q, int64_t k,
+                            const int64_t *qd_table, const int64_t *pos_lower,
+                            const int64_t *pos_upper, const int64_t *len_lower,
+                            const int64_t *len_upper, int64_t sh_shift,
+                            int64_t sh_sid, int64_t sh_len, int64_t *out_ids,
+                            int64_t *out_lens, int64_t *out_cnt,
+                            uint64_t *hkey, int32_t *hdir,
+                            int32_t *seen_epoch) {
+    int64_t kcap = k < n ? k : n;
+    uint64_t mask_pos = (((uint64_t)1) << sh_shift) - 1;
+    uint64_t mask_shift = (((uint64_t)1) << (sh_sid - sh_shift)) - 1;
+    uint64_t mask_sid = (((uint64_t)1) << (sh_len - sh_sid)) - 1;
+    int64_t two_m = 2 * m;
+    int64_t qi, s;
+    for (qi = 0; qi < Q; qi++) {
+        const int64_t *qd = qd_table + qi * two_m;
+        int64_t hs = 0;
+        for (s = 0; s < m; s++) {
+            int64_t pl = pos_lower[qi * m + s];
+            int64_t pu = pos_upper[qi * m + s];
+            if (pl >= 0) {
+                uint64_t sid = (uint64_t)sorted_idx[s * n + pl];
+                uint64_t key = ((uint64_t)(m - len_lower[qi * m + s]) << sh_len)
+                             | (sid << sh_sid)
+                             | ((uint64_t)s << sh_shift) | (uint64_t)pl;
+                hkey[hs] = key; hdir[hs] = -1; sift_up(hkey, hdir, hs); hs++;
+            }
+            if (pu < n) {
+                uint64_t sid = (uint64_t)sorted_idx[s * n + pu];
+                uint64_t key = ((uint64_t)(m - len_upper[qi * m + s]) << sh_len)
+                             | (sid << sh_sid)
+                             | ((uint64_t)s << sh_shift) | (uint64_t)pu;
+                hkey[hs] = key; hdir[hs] = 1; sift_up(hkey, hdir, hs); hs++;
+            }
+        }
+        int32_t epoch = (int32_t)(qi + 1);
+        int64_t cnt = 0;
+        while (hs > 0 && cnt < kcap) {
+            uint64_t key = hkey[0];
+            int32_t dir = hdir[0];
+            int64_t pos = (int64_t)(key & mask_pos);
+            int64_t sh = (int64_t)((key >> sh_shift) & mask_shift);
+            int64_t sid = (int64_t)((key >> sh_sid) & mask_sid);
+            int64_t len = m - (int64_t)(key >> sh_len);
+            if (seen_epoch[sid] != epoch) {
+                seen_epoch[sid] = epoch;
+                out_ids[qi * kcap + cnt] = sid;
+                out_lens[qi * kcap + cnt] = len;
+                cnt++;
+            }
+            int64_t npos = pos + dir;
+            if (npos >= 0 && npos < n) {
+                int64_t nsid = sorted_idx[sh * n + npos];
+                const int64_t *row = doubled + nsid * two_m + sh;
+                const int64_t *q = qd + sh;
+                int64_t nlen = m, j;
+                for (j = 0; j < m; j++) {
+                    if (row[j] != q[j]) { nlen = j; break; }
+                }
+                hkey[0] = ((uint64_t)(m - nlen) << sh_len)
+                        | ((uint64_t)nsid << sh_sid)
+                        | ((uint64_t)sh << sh_shift) | (uint64_t)npos;
+                /* dir unchanged */
+                sift_down(hkey, hdir, hs, 0);
+            } else {
+                hs--;
+                hkey[0] = hkey[hs];
+                hdir[0] = hdir[hs];
+                if (hs > 0) sift_down(hkey, hdir, hs, 0);
+            }
+        }
+        out_cnt[qi] = cnt;
+    }
+}
+
+/* Kernel 3a: fused gather-and-subtract for float64 verification.
+   out[r,:] = data[ids[r],:] - queries[owner[r],:] — elementwise IEEE
+   subtraction only; the reduction stays on the shared NumPy einsum. */
+void repro_gather_diff(const double *data, int64_t d, const int64_t *ids,
+                       const int64_t *owner, int64_t rows,
+                       const double *queries, double *out) {
+    int64_t r, j;
+    for (r = 0; r < rows; r++) {
+        const double *a = data + ids[r] * d;
+        const double *b = queries + owner[r] * d;
+        double *o = out + r * d;
+        for (j = 0; j < d; j++) o[j] = a[j] - b[j];
+    }
+}
+
+/* Kernel 3b: row-wise Hamming distance over bit-packed uint64 words. */
+void repro_hamming_packed(const uint64_t *a, const uint64_t *b, int64_t rows,
+                          int64_t words, double *out) {
+    int64_t r, w;
+    for (r = 0; r < rows; r++) {
+        uint64_t c = 0;
+        for (w = 0; w < words; w++)
+            c += (uint64_t)__builtin_popcountll(a[r * words + w]
+                                                ^ b[r * words + w]);
+        out[r] = (double)c;
+    }
+}
+
+/* Kernel 3c: per-segment top-k selection by ascending (dist, id) —
+   the order np.lexsort((ids, dists)) produces for distinct pairs. */
+void repro_topk_select(const double *dists, const int64_t *ids,
+                       const int64_t *offsets, int64_t Q, int64_t k,
+                       int64_t *out_ids, double *out_dists,
+                       int64_t *out_cnt) {
+    int64_t qi, i, j;
+    for (qi = 0; qi < Q; qi++) {
+        int64_t lo = offsets[qi], hi = offsets[qi + 1], cnt = 0;
+        double *bd = out_dists + qi * k;
+        int64_t *bi = out_ids + qi * k;
+        for (i = lo; i < hi; i++) {
+            double d = dists[i];
+            int64_t id = ids[i];
+            if (cnt == k) {
+                double ld = bd[k - 1];
+                if (!(d < ld || (d == ld && id < bi[k - 1]))) continue;
+                cnt--;
+            }
+            j = cnt;
+            while (j > 0 && (d < bd[j - 1]
+                             || (d == bd[j - 1] && id < bi[j - 1]))) {
+                bd[j] = bd[j - 1];
+                bi[j] = bi[j - 1];
+                j--;
+            }
+            bd[j] = d;
+            bi[j] = id;
+            cnt++;
+        }
+        out_cnt[qi] = cnt;
+    }
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_int64)
+_U64 = ctypes.POINTER(ctypes.c_uint64)
+_I32 = ctypes.POINTER(ctypes.c_int32)
+_F64 = ctypes.POINTER(ctypes.c_double)
+_L = ctypes.c_int64
+
+
+def _ptr(arr: np.ndarray, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        root = os.path.join(
+            os.environ.get("XDG_CACHE_HOME")
+            or os.path.join(os.path.expanduser("~"), ".cache"),
+            "repro-kernels",
+        )
+    return root
+
+
+def _compile_library() -> str:
+    """Compile (or reuse) the shared object; returns its path."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"repro_kernels_{digest}.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if compiler is None:
+        raise RuntimeError("no C compiler found (cc/gcc/clang)")
+    os.makedirs(cache, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=cache) as tmp:
+        src = os.path.join(tmp, "repro_kernels.c")
+        with open(src, "w") as f:
+            f.write(_C_SOURCE)
+        out = os.path.join(tmp, "repro_kernels.so")
+        base = [compiler, "-O3", "-fPIC", "-shared", "-std=c99", src, "-o", out]
+        # -march=native helps popcount; retry without it for compilers
+        # or targets that reject the flag.
+        for cmd in (base[:1] + ["-march=native"] + base[1:], base):
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode == 0:
+                break
+        else:
+            raise RuntimeError(
+                f"kernel compilation failed: {proc.stderr.strip()[:500]}"
+            )
+        # Atomic publish: another process racing to the same path sees
+        # either nothing or a complete library.
+        os.replace(out, lib_path)
+    return lib_path
+
+
+def _load_library() -> ctypes.CDLL:
+    lib = ctypes.CDLL(_compile_library())
+    lib.repro_search_lanes.restype = None
+    lib.repro_search_lanes.argtypes = [
+        _I64, _I64, _L, _L, _L, _I64, _I64, _I64, _I64, _I64, _I64, _I64, _I64,
+    ]
+    lib.repro_search_all.restype = None
+    lib.repro_search_all.argtypes = [
+        _I64, _I64, _I64, _L, _L, _L, _I64, _I64, _I64, _I64, _I64,
+    ]
+    lib.repro_merge_tournament.restype = None
+    lib.repro_merge_tournament.argtypes = [
+        _I64, _I64, _L, _L, _L, _L, _I64, _I64, _I64, _I64, _I64,
+        _L, _L, _L, _I64, _I64, _I64, _U64, _I32, _I32,
+    ]
+    lib.repro_gather_diff.restype = None
+    lib.repro_gather_diff.argtypes = [_F64, _L, _I64, _I64, _L, _F64, _F64]
+    lib.repro_hamming_packed.restype = None
+    lib.repro_hamming_packed.argtypes = [_U64, _U64, _L, _L, _F64]
+    lib.repro_topk_select.restype = None
+    lib.repro_topk_select.argtypes = [_F64, _I64, _I64, _L, _L, _I64, _F64, _I64]
+    return lib
+
+
+class CExtBackend:
+    """ctypes facade over the compiled kernels."""
+
+    name = "cext"
+    compiled = True
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+
+    # -- CSA kernels ---------------------------------------------------
+
+    def search_lanes(
+        self,
+        csa,
+        shifts: np.ndarray,
+        q_rots: np.ndarray,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        doubled, sorted_idx, _ = csa._kernel_arrays()
+        B = len(shifts)
+        n = csa.n
+        shifts = np.ascontiguousarray(shifts, dtype=np.int64)
+        q_rots = np.ascontiguousarray(q_rots, dtype=np.int64)
+        lo = (
+            np.zeros(B, dtype=np.int64)
+            if lo is None
+            else np.ascontiguousarray(lo, dtype=np.int64)
+        )
+        hi = (
+            np.full(B, n, dtype=np.int64)
+            if hi is None
+            else np.ascontiguousarray(hi, dtype=np.int64)
+        )
+        pl = np.empty(B, dtype=np.int64)
+        pu = np.empty(B, dtype=np.int64)
+        ll = np.empty(B, dtype=np.int64)
+        lu = np.empty(B, dtype=np.int64)
+        self._lib.repro_search_lanes(
+            _ptr(doubled, _I64), _ptr(sorted_idx, _I64), n, csa.m, B,
+            _ptr(shifts, _I64), _ptr(q_rots, _I64), _ptr(lo, _I64),
+            _ptr(hi, _I64), _ptr(pl, _I64), _ptr(pu, _I64), _ptr(ll, _I64),
+            _ptr(lu, _I64),
+        )
+        return pl, pu, ll, lu
+
+    def search_all(
+        self, csa, qds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        doubled, sorted_idx, next_link = csa._kernel_arrays()
+        Q = len(qds)
+        n, m = csa.n, csa.m
+        qds = np.ascontiguousarray(qds, dtype=np.int64)
+        pl = np.empty((Q, m), dtype=np.int64)
+        pu = np.empty((Q, m), dtype=np.int64)
+        ll = np.empty((Q, m), dtype=np.int64)
+        lu = np.empty((Q, m), dtype=np.int64)
+        self._lib.repro_search_all(
+            _ptr(doubled, _I64), _ptr(sorted_idx, _I64), _ptr(next_link, _I64),
+            n, m, Q, _ptr(qds, _I64), _ptr(pl, _I64), _ptr(pu, _I64),
+            _ptr(ll, _I64), _ptr(lu, _I64),
+        )
+        return pl, pu, ll, lu
+
+    def merge_tournament(
+        self,
+        csa,
+        qd_table: np.ndarray,
+        bounds_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        k: int,
+        key_shifts: Tuple[int, int, int],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        doubled, sorted_idx, _ = csa._kernel_arrays()
+        pos_lower, pos_upper, len_lower, len_upper = (
+            np.ascontiguousarray(a, dtype=np.int64) for a in bounds_arrays
+        )
+        Q = len(pos_lower)
+        n, m = csa.n, csa.m
+        if Q == 0:
+            return []
+        sh_shift, sh_sid, sh_len = key_shifts
+        qd_table = np.ascontiguousarray(qd_table[:Q], dtype=np.int64)
+        kcap = min(k, n)
+        out_ids = np.empty((Q, kcap), dtype=np.int64)
+        out_lens = np.empty((Q, kcap), dtype=np.int64)
+        out_cnt = np.empty(Q, dtype=np.int64)
+        # Per-call scratch keeps the kernel reentrant under parallel
+        # readers (ctypes releases the GIL for the call's duration).
+        hkey = np.empty(2 * m, dtype=np.uint64)
+        hdir = np.empty(2 * m, dtype=np.int32)
+        seen = np.zeros(n, dtype=np.int32)
+        self._lib.repro_merge_tournament(
+            _ptr(doubled, _I64), _ptr(sorted_idx, _I64), n, m, Q, k,
+            _ptr(qd_table, _I64), _ptr(pos_lower, _I64), _ptr(pos_upper, _I64),
+            _ptr(len_lower, _I64), _ptr(len_upper, _I64),
+            sh_shift, sh_sid, sh_len,
+            _ptr(out_ids, _I64), _ptr(out_lens, _I64), _ptr(out_cnt, _I64),
+            _ptr(hkey, _U64), _ptr(hdir, _I32), _ptr(seen, _I32),
+        )
+        return [
+            (out_ids[qi, : out_cnt[qi]].copy(), out_lens[qi, : out_cnt[qi]].copy())
+            for qi in range(Q)
+        ]
+
+    # -- verification kernels ------------------------------------------
+
+    def gather_diff(
+        self,
+        data: np.ndarray,
+        flat_ids: np.ndarray,
+        owner: np.ndarray,
+        queries: np.ndarray,
+    ) -> np.ndarray:
+        """``data[flat_ids] - queries[owner]`` without the NumPy temps."""
+        rows = len(flat_ids)
+        out = np.empty((rows, data.shape[1]), dtype=np.float64)
+        self._lib.repro_gather_diff(
+            _ptr(data, _F64), data.shape[1], _ptr(flat_ids, _I64),
+            _ptr(owner, _I64), rows, _ptr(queries, _F64), _ptr(out, _F64),
+        )
+        return out
+
+    def hamming_packed(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.ascontiguousarray(a, dtype=np.uint64)
+        b = np.ascontiguousarray(b, dtype=np.uint64)
+        out = np.empty(len(a), dtype=np.float64)
+        self._lib.repro_hamming_packed(
+            _ptr(a, _U64), _ptr(b, _U64), len(a), a.shape[1], _ptr(out, _F64)
+        )
+        return out
+
+    def topk_select(
+        self,
+        flat_ids: np.ndarray,
+        flat_dists: np.ndarray,
+        offsets: np.ndarray,
+        k: int,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        Q = len(offsets) - 1
+        flat_ids = np.ascontiguousarray(flat_ids, dtype=np.int64)
+        flat_dists = np.ascontiguousarray(flat_dists, dtype=np.float64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        out_ids = np.empty((Q, k), dtype=np.int64)
+        out_dists = np.empty((Q, k), dtype=np.float64)
+        out_cnt = np.empty(Q, dtype=np.int64)
+        self._lib.repro_topk_select(
+            _ptr(flat_dists, _F64), _ptr(flat_ids, _I64), _ptr(offsets, _I64),
+            Q, k, _ptr(out_ids, _I64), _ptr(out_dists, _F64),
+            _ptr(out_cnt, _I64),
+        )
+        return [
+            (out_ids[qi, : out_cnt[qi]].copy(), out_dists[qi, : out_cnt[qi]].copy())
+            for qi in range(Q)
+        ]
+
+
+def make_cext_backend(reasons: Dict[str, str]) -> Optional[CExtBackend]:
+    """Build (compile + dlopen) the backend; None and a reason on failure."""
+    try:
+        return CExtBackend(_load_library())
+    except Exception as exc:  # compiler missing, compile error, bad dlopen
+        reasons["cext"] = f"{type(exc).__name__}: {exc}"
+        return None

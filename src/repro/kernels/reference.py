@@ -1,0 +1,283 @@
+"""Reference (NumPy) kernel backend.
+
+This is the exact vectorised code the :class:`~repro.core.csa.
+CircularShiftArray` ran before the kernel registry existed, moved here
+unchanged so every compiled backend has a bit-for-bit oracle to match.
+The CSA methods are now thin dispatchers onto whichever backend the
+index resolved; this class is the one that is always available.
+
+The verification-side hooks (``topk_select``, ``hamming_packed``,
+``gather_diff``) are ``None`` here: the NumPy backend verifies through
+the shared :mod:`repro.distances` kernels and the per-query
+``lexsort`` loop in :mod:`repro.kernels.verify`, exactly as PR 1 did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """Pure-NumPy kernels; the byte-identity reference for all others."""
+
+    name = "numpy"
+    #: compiled backends additionally accelerate candidate verification
+    compiled = False
+
+    # verification hooks (compiled backends override with callables)
+    topk_select = None
+    hamming_packed = None
+    gather_diff = None
+
+    # ------------------------------------------------------------------
+    # Kernel 1: lock-step batched binary search
+    # ------------------------------------------------------------------
+
+    def search_lanes(
+        self,
+        csa,
+        shifts: np.ndarray,
+        q_rots: np.ndarray,
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Many independent bisections advanced in lock-step.
+
+        ``shifts[b]`` selects the sorted index and ``q_rots[b]`` is the
+        (already rotated) query for lane ``b``; optional ``lo``/``hi``
+        window each lane (Corollary 3.2).  Returns four int64 arrays
+        ``(pos_lower, pos_upper, len_lower, len_upper)`` of length B.
+        """
+        B = len(shifts)
+        n, m = csa.n, csa.m
+        doubled = csa._doubled
+        sorted_idx = csa.sorted_idx
+        offsets = np.arange(m, dtype=np.int64)
+        lo = np.zeros(B, dtype=np.int64) if lo is None else np.array(lo, dtype=np.int64)
+        hi = np.full(B, n, dtype=np.int64) if hi is None else np.array(hi, dtype=np.int64)
+        # Two-stage lexicographic compare: most rotations differ within
+        # the first few characters, so each bisection step gathers a
+        # short prefix for every lane and touches the tail only for the
+        # few lanes whose prefix matches the query exactly.
+        pref = min(8, m)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) // 2
+            act_idx = np.flatnonzero(active)
+            ids = sorted_idx[shifts[act_idx], mid[act_idx]].astype(np.int64)
+            sh = shifts[act_idx]
+            rows_p = doubled[ids[:, None], sh[:, None] + offsets[:pref]]
+            qr_p = q_rots[act_idx[:, None], offsets[:pref]]
+            neq_p = rows_p != qr_p
+            has_p = neq_p.any(axis=1)
+            first_p = np.argmax(neq_p, axis=1)
+            take = np.arange(len(ids))
+            # row <= query  <=>  equal or first differing char smaller
+            le = np.empty(len(ids), dtype=bool)
+            le[has_p] = (
+                rows_p[take[has_p], first_p[has_p]]
+                < qr_p[take[has_p], first_p[has_p]]
+            )
+            eq_p = ~has_p
+            if eq_p.any():
+                if pref < m:
+                    sub = np.flatnonzero(eq_p)
+                    rows_t = doubled[
+                        ids[sub][:, None], sh[sub][:, None] + offsets[pref:]
+                    ]
+                    qr_t = q_rots[act_idx[sub][:, None], offsets[pref:]]
+                    neq_t = rows_t != qr_t
+                    has_t = neq_t.any(axis=1)
+                    first_t = np.argmax(neq_t, axis=1)
+                    tk = np.arange(len(sub))
+                    le[sub] = ~has_t | (rows_t[tk, first_t] < qr_t[tk, first_t])
+                else:
+                    le[eq_p] = True
+            lo[act_idx[le]] = mid[act_idx[le]] + 1
+            hi[act_idx[~le]] = mid[act_idx[~le]]
+        pos_upper = lo
+        pos_lower = lo - 1
+        len_lower = np.zeros(B, dtype=np.int64)
+        len_upper = np.zeros(B, dtype=np.int64)
+        for which, pos, out in (
+            ("lower", pos_lower, len_lower),
+            ("upper", pos_upper, len_upper),
+        ):
+            valid = (pos >= 0) & (pos < n)
+            if valid.any():
+                ids = sorted_idx[shifts[valid], pos[valid]].astype(np.int64)
+                rows = doubled[ids[:, None], shifts[valid][:, None] + offsets]
+                neq = rows != q_rots[valid]
+                has_neq = neq.any(axis=1)
+                first = np.argmax(neq, axis=1)
+                out[valid] = np.where(has_neq, first, m)
+        return pos_lower, pos_upper, len_lower, len_upper
+
+    def search_all(
+        self, csa, qds: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Phase 1 of Algorithm 2 for a whole batch: ``(Q, m)`` bounds.
+
+        Per shift one lock-step bisection of width Q, with each query's
+        window narrowed through the next links whenever both of its LCP
+        lengths at the previous shift are >= 1 (Lemma 3.1).
+        """
+        Q = len(qds)
+        n, m = csa.n, csa.m
+        pos_lower = np.empty((Q, m), dtype=np.int64)
+        pos_upper = np.empty((Q, m), dtype=np.int64)
+        len_lower = np.empty((Q, m), dtype=np.int64)
+        len_upper = np.empty((Q, m), dtype=np.int64)
+        for s in range(m):
+            if s == 0 or Q == 0:
+                lo = hi = None
+            else:
+                windowed = (len_lower[:, s - 1] >= 1) & (len_upper[:, s - 1] >= 1)
+                nl = csa.next_link[s - 1]
+                # Clip guards the gather where a bound does not exist;
+                # those lanes are masked out below anyway.
+                window_lo = nl[np.clip(pos_lower[:, s - 1], 0, n - 1)].astype(np.int64)
+                window_hi = nl[np.clip(pos_upper[:, s - 1], 0, n - 1)].astype(np.int64)
+                bad = window_lo > window_hi  # defensive; cannot happen per Lemma 3.1
+                window_lo = np.where(bad, 0, window_lo)
+                window_hi = np.where(bad, n - 1, window_hi)
+                lo = np.where(windowed, window_lo, 0)
+                hi = np.where(windowed, window_hi + 1, n)
+            pl, pu, ll, lu = self.search_lanes(
+                csa, np.full(Q, s, dtype=np.int64), qds[:, s : s + m], lo=lo, hi=hi
+            )
+            pos_lower[:, s] = pl
+            pos_upper[:, s] = pu
+            len_lower[:, s] = ll
+            len_upper[:, s] = lu
+        return pos_lower, pos_upper, len_lower, len_upper
+
+    # ------------------------------------------------------------------
+    # Kernel 2: walk-tournament merge
+    # ------------------------------------------------------------------
+
+    def merge_tournament(
+        self,
+        csa,
+        qd_table: np.ndarray,
+        bounds_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        k: int,
+        key_shifts: Tuple[int, int, int],
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Fully vectorised merge for the no-extras (single-probe) case.
+
+        Each round picks, per query, the walk whose frontier has the
+        lexicographically smallest ``(-lcp, string_id, shift, rank)``
+        key (one ``argmin`` over packed int64 keys across the batch),
+        emits its string if unseen, and advances that walk one rank.
+        ``key_shifts`` is the shared ``(sh_shift, sh_sid, sh_len)``
+        packed-key layout computed by the CSA (callers already verified
+        it fits 62 bits).  Per query the output is identical to
+        ``CircularShiftArray.merge_candidates``.
+        """
+        pos_lower, pos_upper, len_lower, len_upper = bounds_arrays
+        Q = len(pos_lower)
+        m, n = csa.m, csa.n
+        if Q == 0:
+            return []
+        # Bound the dedupe bitmap to ~64 MB by splitting huge batches.
+        max_q = max(1, (1 << 26) // max(1, n))
+        if Q > max_q:
+            out: List[Tuple[np.ndarray, np.ndarray]] = []
+            for start in range(0, Q, max_q):
+                stop = min(Q, start + max_q)
+                out.extend(
+                    self.merge_tournament(
+                        csa,
+                        qd_table[start:stop],
+                        tuple(a[start:stop] for a in bounds_arrays),
+                        k,
+                        key_shifts,
+                    )
+                )
+            return out
+        sh_shift, sh_sid, sh_len = key_shifts
+        dead = np.iinfo(np.int64).max
+        sorted_idx = csa.sorted_idx
+        doubled = csa._doubled
+        offsets = np.arange(m, dtype=np.int64)
+        # Walk state, interleaved (lower, upper) per shift: (Q, 2m).
+        wpos = np.empty((Q, 2 * m), dtype=np.int64)
+        wpos[:, 0::2] = pos_lower
+        wpos[:, 1::2] = pos_upper
+        wlen = np.empty((Q, 2 * m), dtype=np.int64)
+        wlen[:, 0::2] = len_lower
+        wlen[:, 1::2] = len_upper
+        alive = np.empty((Q, 2 * m), dtype=bool)
+        alive[:, 0::2] = pos_lower >= 0
+        alive[:, 1::2] = pos_upper < n
+        wshift = np.repeat(np.arange(m, dtype=np.int64), 2)
+        wdir = np.tile(np.array([-1, 1], dtype=np.int64), m)
+        wsid = sorted_idx[
+            wshift[None, :], np.clip(wpos, 0, n - 1)
+        ].astype(np.int64)
+        keys = (
+            ((m - wlen) << sh_len)
+            | (wsid << sh_sid)
+            | (wshift[None, :] << sh_shift)
+            | np.clip(wpos, 0, n - 1)
+        )
+        keys[~alive] = dead
+        seen = np.zeros((Q, n), dtype=bool)
+        out_ids = np.empty((Q, min(k, n)), dtype=np.int64)
+        out_lens = np.empty((Q, min(k, n)), dtype=np.int64)
+        cnt = np.zeros(Q, dtype=np.int64)
+        act = np.flatnonzero(alive.any(axis=1))
+        while len(act):
+            sub = keys[act]
+            best = np.argmin(sub, axis=1)
+            live = sub[np.arange(len(act)), best] != dead
+            act = act[live]
+            best = best[live]
+            if not len(act):
+                break
+            s = wshift[best]
+            d = wdir[best]
+            pos = wpos[act, best]
+            ln = wlen[act, best]
+            sid = wsid[act, best]
+            fresh = ~seen[act, sid]
+            seen[act, sid] = True
+            emit_q = act[fresh]
+            out_ids[emit_q, cnt[emit_q]] = sid[fresh]
+            out_lens[emit_q, cnt[emit_q]] = ln[fresh]
+            cnt[emit_q] += 1
+            npos = pos + d
+            inb = (npos >= 0) & (npos < n)
+            keys[act[~inb], best[~inb]] = dead
+            adv_q = act[inb]
+            if len(adv_q):
+                adv_w = best[inb]
+                a_pos = npos[inb]
+                a_s = s[inb]
+                nsid = sorted_idx[a_s, a_pos].astype(np.int64)
+                windows = a_s[:, None] + offsets
+                rows = doubled[nsid[:, None], windows]
+                neq = rows != qd_table[adv_q[:, None], windows]
+                has_neq = neq.any(axis=1)
+                nlen = np.where(has_neq, np.argmax(neq, axis=1), m)
+                wpos[adv_q, adv_w] = a_pos
+                wlen[adv_q, adv_w] = nlen
+                wsid[adv_q, adv_w] = nsid
+                keys[adv_q, adv_w] = (
+                    ((m - nlen) << sh_len)
+                    | (nsid << sh_sid)
+                    | (a_s << sh_shift)
+                    | a_pos
+                )
+            act = act[cnt[act] < k]
+        return [
+            (out_ids[qi, : cnt[qi]].copy(), out_lens[qi, : cnt[qi]].copy())
+            for qi in range(Q)
+        ]

@@ -255,6 +255,18 @@ class ANNService:
             out["batched_queries"] = batched
             out["largest_batch"] = self._largest_batch
         out["avg_batch_size"] = batched / batches if batches else 0.0
+        # Surface the kernel backend of the underlying index (walk the
+        # wrapper chain: ConcurrentIndex -> DurableIndex -> index).
+        inner = self._ci.inner
+        for _ in range(4):
+            backend = getattr(inner, "kernel_backend", None)
+            if backend is not None:
+                out["kernel_backend"] = backend
+                break
+            nxt = getattr(inner, "inner", None)
+            if nxt is None:
+                break
+            inner = nxt
         return out
 
     def close(self) -> None:
