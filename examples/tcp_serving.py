@@ -1,0 +1,123 @@
+"""Drive the TCP front door end to end: spawn, query, write, drain.
+
+Spawns ``python -m repro.cli serve <bundle> --tcp 127.0.0.1:0 ...`` as
+a subprocess (exactly what an operator runs), discovers the port from
+the stderr readiness line, then drives the JSON-lines protocol through
+:class:`repro.serve.ServeClient`:
+
+* ``ping`` + a few ``query`` requests (answers must be sorted by
+  distance);
+* with ``--wal-dir``: an ``insert``, then a read-your-writes ``query``
+  carrying the write's ``seq`` as ``min_version`` — on *any* worker;
+* ``stats`` (asserts the server's request counters and latency
+  percentiles are present);
+* ``SIGTERM``, asserting the graceful drain: exit code 0 and every
+  in-flight response delivered.
+
+Run (read-only, 2 prefork workers)::
+
+    PYTHONPATH=src python -m repro.cli build --dataset sift --n 600 \
+        --method lccs --shards 2 --parallel thread --out /tmp/s.bundle
+    PYTHONPATH=src python examples/tcp_serving.py /tmp/s.bundle --workers 2
+
+Run (durable writes routed to the primary)::
+
+    PYTHONPATH=src python -m repro.cli build --dataset sift --n 600 \
+        --method dynamic --out /tmp/d.bundle
+    PYTHONPATH=src python examples/tcp_serving.py /tmp/d.bundle \
+        --workers 2 --wal-dir /tmp/d.wal
+"""
+
+import argparse
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from repro.serve import read_manifest
+from repro.serve.client import ServeClient
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bundle")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--wal-dir", default=None)
+    parser.add_argument("--queries", type=int, default=5)
+    args = parser.parse_args()
+
+    dim = int(read_manifest(args.bundle)["dim"])
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve", args.bundle,
+        "--tcp", "127.0.0.1:0", "--workers", str(args.workers),
+        "--mmap", "--max-inflight", "32",
+    ]
+    if args.wal_dir:
+        cmd += ["--wal-dir", args.wal_dir, "--fsync", "off"]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+    try:
+        port = None
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            line = proc.stderr.readline()
+            if not line:
+                break
+            print(f"[server] {line.rstrip()}")
+            found = re.search(r"listening on [\d.]+:(\d+)", line)
+            if found:
+                port = int(found.group(1))
+                break
+        assert port is not None, "server never announced its port"
+
+        rng = np.random.default_rng(0)
+        with ServeClient("127.0.0.1", port, timeout=60) as client:
+            assert client.ping()
+            for _ in range(args.queries):
+                ids, dists = client.query(rng.normal(size=dim), k=5)
+                assert list(dists) == sorted(dists), "unsorted answer"
+            print(f"{args.queries} queries answered, k=5, sorted")
+
+            if args.wal_dir:
+                written = client.insert(rng.normal(size=dim))
+                print(f"insert acknowledged: {written}")
+                assert written["seq"] >= 1
+                ids, _ = client.query(
+                    np.zeros(dim), k=min(1000, written["handle"] + 1),
+                    min_version=written["seq"],
+                )
+                assert written["handle"] in ids.tolist(), \
+                    "read-your-writes failed"
+                print(f"min_version={written['seq']} read sees the insert")
+
+            stats = client.stats()
+            server = stats["server"]
+            assert server["requests_total"] >= args.queries
+            assert server["ops"]["query"]["p99_ms"] > 0.0
+            print(
+                f"stats: role={stats.get('role')} pid={stats.get('pid')} "
+                f"requests={server['requests_total']} "
+                f"query p50={server['ops']['query']['p50_ms']:.2f}ms "
+                f"p99={server['ops']['query']['p99_ms']:.2f}ms"
+            )
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        rest = proc.stderr.read()
+        for line in rest.strip().splitlines():
+            print(f"[server] {line}")
+        assert rc == 0, f"server exited {rc}"
+        if args.workers > 1:
+            assert "all workers drained" in rest
+        print("graceful drain confirmed (exit 0)")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -377,7 +377,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     With ``--replicas N`` queries are answered by N log-shipping
     replicas (round-robin; a query request may carry ``min_version`` to
     read its own writes — write responses include ``seq``).
+
+    With ``--tcp HOST:PORT`` the same protocol is served over TCP by
+    the asyncio front door (:mod:`repro.serve.server`) instead of
+    stdin: ``--workers N`` preforks N mmap worker processes behind one
+    SO_REUSEPORT port (writes route to a primary holding the WAL),
+    ``--max-inflight`` bounds per-worker admission (excess requests get
+    an explicit ``{"error": "overloaded", "shed": true}``), and SIGTERM
+    drains gracefully.
     """
+    if args.tcp:
+        return _cmd_serve_tcp(args)
+    if args.workers != 1:
+        print("--workers requires --tcp", file=sys.stderr)
+        return 2
     import json
     import queue
     import threading
@@ -484,11 +497,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         max_batch_size=args.max_batch,
     ) as service, ThreadPoolExecutor(max_workers=args.threads) as clients:
-        # Query futures flow through a bounded queue to a printer
-        # thread, which emits each answer in request order the moment
-        # it resolves — interactive clients get responses without
-        # waiting for more input, and memory stays bounded on long
-        # query-only streams.
+        # Responses flow through a bounded queue (query futures and
+        # ready dicts alike) to a printer thread, which emits each
+        # answer in request order the moment it resolves — interactive
+        # clients get responses without waiting for more input, memory
+        # stays bounded on long query-only streams, and because the
+        # printer is the *only* thread writing responses, output lines
+        # can never interleave mid-line.
         out_queue: "queue.Queue" = queue.Queue(maxsize=4 * args.threads)
         counter_lock = threading.Lock()
 
@@ -499,11 +514,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         def printer() -> None:
             while True:
-                fut = out_queue.get()
+                item = out_queue.get()
                 try:
-                    if fut is None:
+                    if item is None:
                         return
-                    print(json.dumps(fut.result()), flush=True)
+                    if isinstance(item, dict):
+                        response = item
+                    else:
+                        # A raising future must become an error *line*,
+                        # not kill this thread: a dead printer leaves
+                        # flush()'s join() deadlocked forever on the
+                        # next write/stats request.  BaseException on
+                        # purpose — the executor captures those into
+                        # futures too (e.g. a KeyboardInterrupt raised
+                        # mid-query).
+                        try:
+                            response = item.result()
+                        except BaseException as exc:
+                            response = {
+                                "error": f"{type(exc).__name__}: {exc}"
+                            }
+                    try:
+                        line = json.dumps(response)
+                    except (TypeError, ValueError) as exc:
+                        line = json.dumps(
+                            {"error": f"unserializable response: {exc}"}
+                        )
+                    print(line, flush=True)
                     count_one()
                 finally:
                     out_queue.task_done()
@@ -524,10 +561,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     if not isinstance(request, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
-                    flush()
-                    print(json.dumps({"error": f"bad request: {exc}"}),
-                          flush=True)
-                    count_one()
+                    # Through the queue like every other response: the
+                    # printer is the single writer, so this error line
+                    # cannot interleave with an in-flight query answer
+                    # (and queue order keeps it in request order).
+                    out_queue.put({"error": f"bad request: {exc}"})
                     continue
                 if "query" in request:
                     out_queue.put(clients.submit(run_query, request))
@@ -559,8 +597,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         }
                 except Exception as exc:
                     response = {"error": f"{type(exc).__name__}: {exc}"}
-                print(json.dumps(response), flush=True)
-                count_one()
+                out_queue.put(response)
             flush()
         finally:
             out_queue.put(None)
@@ -577,6 +614,64 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     print(f"served {emitted} responses", file=sys.stderr)
     return 0
+
+
+def _parse_hostport(spec: str) -> "tuple[str, int]":
+    """``HOST:PORT`` / ``:PORT`` / ``PORT`` -> (host, port)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    if not host:
+        host = "127.0.0.1"
+    return host, int(port)
+
+
+def _cmd_serve_tcp(args: argparse.Namespace) -> int:
+    """The ``serve --tcp`` path: hand off to repro.serve.server."""
+    from repro.serve import BundleError
+    from repro.serve.durability import RecoveryError
+    from repro.serve.server import ServerConfig, run_server
+
+    if args.requests:
+        print("--requests is stdin mode only (drive --tcp over a socket)",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.replicas:
+        print("--replicas is a single-process option; prefork workers "
+              "already serve as replicas", file=sys.stderr)
+        return 2
+    try:
+        host, port = _parse_hostport(args.tcp)
+    except ValueError:
+        print(f"--tcp wants HOST:PORT, got {args.tcp!r}", file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        bundle=args.bundle,
+        host=host,
+        port=port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        drain_timeout=args.drain_timeout,
+        k=args.k,
+        cache_size=args.cache_size,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        mmap=args.mmap,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+        snapshot_keep=args.snapshot_keep,
+        replicas=args.replicas,
+        tail_interval_ms=args.tail_interval_ms,
+    )
+    try:
+        return run_server(config)
+    except (BundleError, RecoveryError) as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
 
 
 def _fmt_bytes(n: int) -> str:
@@ -880,9 +975,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser(
-        "serve", help="serve a bundle: JSON-lines requests on stdin"
+        "serve",
+        help="serve a bundle: JSON-lines requests on stdin or --tcp",
     )
     p.add_argument("bundle", help="bundle directory written by `build`")
+    p.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="serve the JSON-lines protocol over TCP on this address "
+        "(port 0 picks one; the chosen port is announced on stderr) "
+        "instead of stdin",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="prefork this many mmap worker processes sharing the --tcp "
+        "port via SO_REUSEPORT (writes route to a single primary; "
+        "requires --wal-dir for writes)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="per-worker admission bound: requests beyond it are shed "
+        "with an explicit overloaded error (--tcp mode)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="on SIGTERM, how long existing connections may linger "
+        "before being force-closed (--tcp mode)",
+    )
     p.add_argument(
         "--threads", type=int, default=4,
         help="concurrent client workers issuing queries (adjacent "

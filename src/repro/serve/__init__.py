@@ -48,9 +48,18 @@ This package turns the in-process indexes into servable artifacts:
   state (snapshot + log-suffix replay, with corrupt-snapshot
   fallback), and :class:`~repro.serve.durability.ReplicaSet` serves
   round-robin reads from replicas that tail the WAL.
+* :mod:`repro.serve.server` — the asyncio TCP front door:
+  :class:`~repro.serve.server.AsyncANNServer` speaks the JSON-lines
+  protocol over sockets with admission control (explicit overload
+  shedding), per-op latency histograms
+  (:mod:`repro.serve.metrics`) and graceful drain;
+  :func:`~repro.serve.server.run_server` adds the prefork worker
+  model (N mmap replica processes behind one SO_REUSEPORT port, a
+  primary process owning the WAL).  :mod:`repro.serve.client` has
+  the matching asyncio and blocking clients.
 """
 
-from repro.serve.cache import QueryCache, query_key
+from repro.serve.cache import QueryCache, freeze_kwargs, query_key
 from repro.serve.concurrency import ConcurrentIndex, RWLock
 from repro.serve.durability import (
     DurableIndex,
@@ -81,29 +90,53 @@ from repro.serve.registry import (
     registry_name,
     resolve_index_class,
 )
+from repro.serve.client import (
+    AsyncServeClient,
+    Overloaded,
+    ServeClient,
+    ServerError,
+)
+from repro.serve.metrics import LatencyHistogram, ServerMetrics
+from repro.serve.server import (
+    AsyncANNServer,
+    ServerConfig,
+    ThreadedServer,
+    run_server,
+)
 from repro.serve.service import ANNService
 from repro.serve.sharding import IndexSpec, ShardedIndex, merge_topk
 
 __all__ = [
     "ANNService",
     "ArrayStore",
+    "AsyncANNServer",
+    "AsyncServeClient",
     "BundleError",
     "ConcurrentIndex",
     "DurableIndex",
     "FORMAT_VERSION",
     "IndexSpec",
+    "LatencyHistogram",
+    "Overloaded",
     "QueryCache",
     "RWLock",
     "RecoveryError",
     "Replica",
     "ReplicaSet",
+    "ServeClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
     "ShardedIndex",
     "SnapshotManager",
     "StaleReadError",
+    "ThreadedServer",
     "WALError",
     "WriteAheadLog",
+    "freeze_kwargs",
     "query_key",
     "recover",
+    "run_server",
     "export_index",
     "import_index",
     "index_names",

@@ -22,10 +22,46 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["QueryCache", "query_key"]
+__all__ = ["QueryCache", "freeze_kwargs", "query_key"]
 
 #: cache key type: (query bytes, dtype, shape, k, kwargs, version)
 CacheKey = Tuple[bytes, str, tuple, int, tuple, int]
+
+
+def _freeze_value(value):
+    """A hashable, equality-stable stand-in for one kwarg value.
+
+    Arrays become ``("ndarray", bytes, dtype, shape)`` and sequences
+    become tuples (recursively), so a kwarg like ``num_candidates=[100,
+    200]`` or an ndarray-valued knob can sit inside a dict key — and
+    compare with plain ``==`` — instead of raising ``TypeError:
+    unhashable`` (or, for arrays inside tuples, an ambiguous-truth
+    ``ValueError``) deep inside the cache or the micro-batcher.
+    """
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.tobytes(), value.dtype.str, value.shape)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_freeze_value(v) for v in value))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(sorted((k, _freeze_value(v)) for k, v in value.items())),
+        )
+    return value
+
+
+def freeze_kwargs(kwargs: dict) -> tuple:
+    """Canonical hashable form of a query-kwargs dict.
+
+    Used both by :func:`query_key` (cache keys must be hashable) and by
+    the micro-batcher's request grouping in
+    :mod:`repro.serve.service` (group tags must compare with ``==``
+    without tripping over ndarray broadcasting), so the two stay
+    consistent: requests that batch together also share cache slots.
+    """
+    return tuple(sorted((k, _freeze_value(v)) for k, v in kwargs.items()))
 
 
 def query_key(q: np.ndarray, k: int, version: int, kwargs: dict) -> CacheKey:
@@ -41,7 +77,7 @@ def query_key(q: np.ndarray, k: int, version: int, kwargs: dict) -> CacheKey:
         q.dtype.str,
         q.shape,
         int(k),
-        tuple(sorted(kwargs.items())),
+        freeze_kwargs(kwargs),
         int(version),
     )
 

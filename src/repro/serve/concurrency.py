@@ -239,6 +239,20 @@ class ConcurrentIndex:
             self._index.delete(handle)
             return self._bump_version()
 
+    def apply_exclusive(self, fn) -> Tuple[object, int]:
+        """Run ``fn(inner_index)`` under the exclusive write lock.
+
+        Escape hatch for writes that are not plain insert/delete/fit —
+        e.g. a replica applying a batch of shipped WAL records in one
+        critical section.  The version is bumped exactly once (so
+        version-keyed caches drop entries that predate the batch) and
+        ``(fn's result, new version)`` is returned.
+        """
+        with self._lock.write_locked():
+            result = fn(self._index)
+            version = self._bump_version()
+        return result, version
+
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:

@@ -1,0 +1,1208 @@
+"""Asyncio TCP front door: the network server for the serving stack.
+
+Speaks the same JSON-lines protocol as ``cli serve``'s stdin mode —
+one JSON object per line, newline-framed, responses in request order
+per connection:
+
+=============================  =========================================
+request                        response
+=============================  =========================================
+``{"query": [..], "k": 10,     ``{"ids": [..], "dists": [..]}``
+`` ...kwargs}``                (kwargs e.g. ``num_candidates``; a
+                               ``min_version`` key makes the read
+                               wait for that WAL seq — read-your-writes)
+``{"insert": [..]}``           ``{"handle": h, "version": v, "seq": s}``
+``{"delete": h}``              ``{"deleted": h, "version": v, "seq": s}``
+``{"stats": true}``            ``{"stats": {..}}`` (service counters +
+                               the server's request/latency metrics)
+``{"ping": true}``             ``{"pong": true}``
+anything else / bad JSON       ``{"error": "..."}``
+over ``--max-inflight``        ``{"error": "overloaded", "shed": true}``
+=============================  =========================================
+
+Architecture (the "millions of users" shape from ROADMAP item 1):
+
+* **Per worker** every connection feeds one shared
+  :class:`~repro.serve.service.ANNService`, so concurrent queries from
+  *different sockets* coalesce into micro-batches exactly as threads
+  did in PR 3 — cross-connection batching for free.  Within one
+  connection requests may be pipelined; queries execute concurrently
+  and responses are written strictly in request order, while
+  ``insert``/``delete``/``stats`` act as a per-connection barrier
+  (they run only after every prior request on that connection has
+  answered), preserving the stdin mode's serial semantics.
+* **Admission control**: each worker bounds its in-flight requests
+  (``max_inflight``).  Beyond the bound, requests are *shed* with an
+  explicit ``{"error": "overloaded", "shed": true}`` response instead
+  of buffering without bound — clients see overload immediately and
+  can back off, and p99 latency stays bounded under overload.
+* **Prefork workers** (``workers > 1``): N worker processes each open
+  the same bundle with ``load_index(mmap=True)`` (PR 5 makes a worker
+  ~11 MB private) and bind their own listening socket with
+  ``SO_REUSEPORT`` so the kernel load-balances connections across
+  them.  Writes route to the single **primary** process (the prefork
+  parent) holding the :class:`~repro.serve.durability.DurableIndex` /
+  WAL; workers are log-shipping replicas (PR 4) that tail the WAL and
+  serve ``min_version`` read-your-writes.  Without ``--wal-dir`` the
+  workers are read-only.
+* **Graceful drain**: SIGTERM (or SIGINT) stops accepting new
+  connections; existing connections keep full service until they close
+  (or ``drain_timeout`` elapses), so every in-flight request is
+  answered before exit.
+* **Metrics**: per-op request counters and p50/p95/p99 latency
+  histograms (:mod:`repro.serve.metrics`), returned under
+  ``stats.server`` in every ``stats`` response.
+
+Programmatic entry points: :class:`AsyncANNServer` (asyncio-native),
+:class:`ThreadedServer` (background-thread embedding, used by tests),
+and :func:`run_server` (the blocking CLI driver handling both the
+single-process and prefork modes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.client import AsyncServeClient
+from repro.serve.metrics import ServerMetrics
+
+__all__ = [
+    "AsyncANNServer",
+    "PrimaryBackend",
+    "ReplicaBackend",
+    "ServerConfig",
+    "ServiceBackend",
+    "ThreadedServer",
+    "run_server",
+]
+
+#: shed response emitted by admission control (copied per response)
+SHED_RESPONSE = {"error": "overloaded", "shed": True}
+
+#: request-line size bound (mirrors the client's response bound)
+_LINE_LIMIT = 32 << 20
+
+DEFAULT_MAX_INFLIGHT = 64
+
+
+def _json_default(value):
+    """Last-resort JSON coercion for numpy scalars inside stats dicts."""
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    return str(value)
+
+
+def _error_response(exc: BaseException) -> dict:
+    return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+# ----------------------------------------------------------------------
+# Backends: what the protocol verbs do in each process role
+# ----------------------------------------------------------------------
+
+class _QueryParser:
+    """Shared request->(q, k, min_version, kwargs) unpacking."""
+
+    def __init__(self, default_kwargs: Optional[dict], default_k: int):
+        self._default_kwargs = dict(default_kwargs or {})
+        self._default_k = int(default_k)
+
+    def parse_query(self, request: dict):
+        payload = dict(request)
+        q = np.asarray(payload.pop("query"), dtype=np.float64)
+        k = int(payload.pop("k", self._default_k))
+        min_version = payload.pop("min_version", None)
+        if min_version is not None:
+            min_version = int(min_version)
+        kwargs = {**self._default_kwargs, **payload}
+        return q, k, min_version, kwargs
+
+
+class ServiceBackend(_QueryParser):
+    """Single-process backend: one :class:`ANNService` does everything.
+
+    Queries go through the service's cache + micro-batcher (its
+    ``concurrent.futures`` future is bridged onto the event loop);
+    writes and stats run on a small thread pool so a WAL fsync never
+    blocks the loop.  With ``replica_set`` reads fan out to in-process
+    log-shipping replicas exactly like stdin mode's ``--replicas``.
+    """
+
+    def __init__(
+        self,
+        service,
+        default_kwargs: Optional[dict] = None,
+        default_k: int = 10,
+        durable=None,
+        replica_set=None,
+    ):
+        super().__init__(default_kwargs, default_k)
+        self._service = service
+        self._durable = durable
+        self._replica_set = replica_set
+        workers = 2
+        if replica_set is not None:
+            workers = max(2, len(replica_set.replicas))
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve-backend"
+        )
+
+    async def query(self, request: dict) -> dict:
+        q, k, min_version, kwargs = self.parse_query(request)
+        loop = asyncio.get_running_loop()
+        if self._replica_set is not None:
+            ids, dists = await loop.run_in_executor(
+                self._pool,
+                lambda: self._replica_set.query(
+                    q, k=k, min_version=min_version, **kwargs
+                ),
+            )
+        else:
+            # Local reads always reflect every acknowledged write, so a
+            # min_version from one of our own write responses is
+            # trivially satisfied; anything beyond the log is an error.
+            if (
+                min_version is not None
+                and self._durable is not None
+                and self._durable.applied_seq < min_version
+            ):
+                raise RuntimeError(
+                    f"min_version={min_version} is ahead of the log "
+                    f"(applied_seq={self._durable.applied_seq})"
+                )
+            fut = self._service.query_async(q, k=k, **kwargs)
+            ids, dists = await asyncio.wrap_future(fut)
+        return {"ids": ids.tolist(), "dists": dists.tolist()}
+
+    async def insert(self, request: dict) -> dict:
+        vector = np.asarray(request["insert"], dtype=np.float64)
+        loop = asyncio.get_running_loop()
+        handle = await loop.run_in_executor(
+            self._pool, self._service.insert, vector
+        )
+        response = {"handle": int(handle), "version": self._service.version}
+        if self._durable is not None:
+            response["seq"] = int(self._durable.applied_seq)
+        return response
+
+    async def delete(self, request: dict) -> dict:
+        handle = int(request["delete"])
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, self._service.delete, handle)
+        response = {"deleted": handle, "version": self._service.version}
+        if self._durable is not None:
+            response["seq"] = int(self._durable.applied_seq)
+        return response
+
+    async def stats(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        stats = await loop.run_in_executor(self._pool, self._service.stats)
+        if self._replica_set is not None:
+            stats.update(self._replica_set.stats())
+        stats["role"] = "single"
+        stats["pid"] = os.getpid()
+        if self._durable is not None:
+            stats["applied_seq"] = int(self._durable.applied_seq)
+        return {"stats": stats}
+
+    async def aclose(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+class ReplicaBackend(_QueryParser):
+    """Prefork-worker backend: mmap replica reads, forwarded writes.
+
+    Reads go through the worker's own :class:`ANNService` (so
+    cross-connection micro-batching still applies).  With a WAL the
+    worker tails the shared log on a background task and applies new
+    records under the :class:`ConcurrentIndex` write lock
+    (``apply_exclusive``), bumping the version so cached results from
+    before the catch-up become unreachable.  Writes are forwarded over
+    a persistent connection to the primary process; ``min_version``
+    reads wait (bounded) for the log to reach that seq.
+    """
+
+    def __init__(
+        self,
+        service,
+        wal_dir: Optional[str] = None,
+        applied_seq: Optional[int] = None,
+        primary_addr: Optional[Tuple[str, int]] = None,
+        default_kwargs: Optional[dict] = None,
+        default_k: int = 10,
+        tail_interval_s: float = 0.05,
+        stale_timeout_s: float = 2.0,
+    ):
+        super().__init__(default_kwargs, default_k)
+        self._service = service
+        self._reader = None
+        if wal_dir is not None:
+            from repro.serve.durability.wal import WALReader
+
+            self._reader = WALReader(wal_dir, start_seq=int(applied_seq or 0))
+        self.applied_seq = None if applied_seq is None else int(applied_seq)
+        self._primary_addr = primary_addr
+        self._primary: Optional[AsyncServeClient] = None
+        self._primary_lock: Optional[asyncio.Lock] = None
+        self._tail_interval = float(tail_interval_s)
+        self._stale_timeout = float(stale_timeout_s)
+        self._tail_lock = threading.Lock()
+        self._tail_task: Optional[asyncio.Task] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="replica-backend"
+        )
+
+    def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Launch the background WAL tailing task (if there is a WAL)."""
+        if self._reader is not None and self._tail_task is None:
+            self._tail_task = loop.create_task(self._tail_loop())
+
+    async def _tail_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._tail_interval)
+            try:
+                await self._catch_up()
+            except Exception:  # transient log race; next tick retries
+                continue
+
+    async def _catch_up(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, self._poll_apply)
+
+    def _poll_apply(self) -> None:
+        from repro.serve.durability.wal import apply_op
+
+        with self._tail_lock:
+            ops = self._reader.poll()
+            if not ops:
+                return
+
+            def apply_all(index):
+                for _, op in ops:
+                    apply_op(index, op)
+
+            # One exclusive critical section for the whole batch: one
+            # version bump, so version-keyed cache entries from before
+            # the catch-up are unreachable afterwards.
+            self._service.index.apply_exclusive(apply_all)
+            self.applied_seq = int(ops[-1][0]) + 1
+
+    async def _ensure_seq(self, min_version: int) -> None:
+        if self.applied_seq is not None and self.applied_seq >= min_version:
+            return
+        if self._reader is None:
+            raise RuntimeError(
+                "min_version requires --wal-dir (read-only worker has no "
+                "log to wait on)"
+            )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._stale_timeout
+        while True:
+            await self._catch_up()
+            if self.applied_seq is not None and self.applied_seq >= min_version:
+                return
+            if loop.time() >= deadline:
+                from repro.serve.durability import StaleReadError
+
+                raise StaleReadError(
+                    f"worker replica is at seq {self.applied_seq}; the log "
+                    f"does not (yet) reach min_version={min_version}"
+                )
+            await asyncio.sleep(0.005)
+
+    async def query(self, request: dict) -> dict:
+        q, k, min_version, kwargs = self.parse_query(request)
+        if min_version is not None:
+            await self._ensure_seq(min_version)
+        fut = self._service.query_async(q, k=k, **kwargs)
+        ids, dists = await asyncio.wrap_future(fut)
+        return {"ids": ids.tolist(), "dists": dists.tolist()}
+
+    async def insert(self, request: dict) -> dict:
+        return await self._forward(request)
+
+    async def delete(self, request: dict) -> dict:
+        return await self._forward(request)
+
+    async def _forward(self, request: dict) -> dict:
+        if self._primary_addr is None:
+            return {
+                "error": "read-only worker: writes need --wal-dir (the "
+                "primary process applies them)"
+            }
+        if self._primary_lock is None:
+            self._primary_lock = asyncio.Lock()
+        async with self._primary_lock:
+            last_exc: Optional[BaseException] = None
+            for attempt in range(2):
+                try:
+                    if self._primary is None:
+                        self._primary = await AsyncServeClient.connect(
+                            *self._primary_addr
+                        )
+                    response = await self._primary.request(request)
+                except (ConnectionError, OSError) as exc:
+                    stale, self._primary = self._primary, None
+                    if stale is not None:
+                        with contextlib.suppress(Exception):
+                            await stale.close()
+                    last_exc = exc
+                    continue
+                # Pull the write home eagerly so even min_version-less
+                # follow-up reads usually see it without a tail tick.
+                if "error" not in response and self._reader is not None:
+                    with contextlib.suppress(Exception):
+                        await self._catch_up()
+                return response
+            raise ConnectionError(
+                f"cannot reach primary at {self._primary_addr}: {last_exc}"
+            )
+
+    async def stats(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        stats = await loop.run_in_executor(self._pool, self._service.stats)
+        stats["role"] = "replica" if self._reader is not None else "reader"
+        stats["pid"] = os.getpid()
+        if self.applied_seq is not None:
+            stats["applied_seq"] = int(self.applied_seq)
+        return {"stats": stats}
+
+    async def aclose(self) -> None:
+        if self._tail_task is not None:
+            self._tail_task.cancel()
+            with contextlib.suppress(BaseException):
+                await self._tail_task
+            self._tail_task = None
+        if self._primary is not None:
+            with contextlib.suppress(Exception):
+                await self._primary.close()
+            self._primary = None
+        self._pool.shutdown(wait=False)
+
+
+class PrimaryBackend:
+    """Write-only backend for the prefork primary's internal socket.
+
+    Workers forward ``insert``/``delete`` here; a one-thread executor
+    serializes them into the :class:`DurableIndex` (log-then-apply,
+    fsync per policy) without blocking the loop.  ``seq`` in the
+    response is the WAL position the write produced — clients hand it
+    back as ``min_version`` for read-your-writes on any worker.
+    """
+
+    def __init__(self, durable):
+        self._durable = durable
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="primary-write"
+        )
+
+    async def query(self, request: dict) -> dict:
+        return {"error": "primary serves writes only; query a worker port"}
+
+    async def insert(self, request: dict) -> dict:
+        vector = np.asarray(request["insert"], dtype=np.float64)
+        loop = asyncio.get_running_loop()
+        handle = await loop.run_in_executor(
+            self._pool, self._durable.insert, vector
+        )
+        seq = int(self._durable.applied_seq)
+        return {"handle": int(handle), "version": seq, "seq": seq}
+
+    async def delete(self, request: dict) -> dict:
+        handle = int(request["delete"])
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._pool, self._durable.delete, handle)
+        seq = int(self._durable.applied_seq)
+        return {"deleted": handle, "version": seq, "seq": seq}
+
+    async def stats(self, request: dict) -> dict:
+        stats = {
+            "role": "primary",
+            "pid": os.getpid(),
+            "applied_seq": int(self._durable.applied_seq),
+        }
+        stats.update(
+            {f"wal_{k}": v for k, v in self._durable.wal_stats().items()}
+        )
+        return {"stats": stats}
+
+    async def aclose(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+def _consume_exception(task: asyncio.Task) -> None:
+    """Mark a task's exception retrieved (the writer also awaits it)."""
+    if not task.cancelled():
+        task.exception()
+
+
+class AsyncANNServer:
+    """JSON-lines TCP server: admission control, metrics, graceful drain.
+
+    Protocol handling, per-connection ordering, shedding and latency
+    accounting live here; what the verbs *do* is delegated to a backend
+    (:class:`ServiceBackend` / :class:`ReplicaBackend` /
+    :class:`PrimaryBackend`).
+
+    Args:
+        backend: object with async ``query``/``insert``/``delete``/
+            ``stats`` methods taking the raw request dict.
+        host / port: listening address (``port=0`` picks one), or pass
+            a pre-bound ``sock`` (the prefork workers' SO_REUSEPORT
+            sockets come in this way).
+        max_inflight: admission bound — requests admitted but not yet
+            answered; beyond it new requests get the shed response.
+        drain_timeout: after ``begin_drain``, how long existing
+            connections may keep the server alive before force-close.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sock: Optional[socket.socket] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        drain_timeout: float = 10.0,
+        metrics: Optional[ServerMetrics] = None,
+        name: str = "server",
+    ):
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self._backend = backend
+        self._host = host
+        self._port = port
+        self._sock = sock
+        self._max_inflight = int(max_inflight)
+        self._drain_timeout = float(drain_timeout)
+        self.metrics = metrics or ServerMetrics()
+        self.name = name
+        self._inflight = 0
+        self._conn_tasks: set = set()
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        self._closed = asyncio.Event()
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle, sock=self._sock, limit=_LINE_LIMIT
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, self._host, self._port, limit=_LINE_LIMIT
+            )
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting; let live connections finish, then close.
+
+        Callable from the event-loop thread (signal handlers land
+        here).  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._server.close()
+        asyncio.ensure_future(self._finish_drain())
+
+    async def _finish_drain(self) -> None:
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=self._drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Resolve once a drain has fully completed."""
+        await self._closed.wait()
+
+    def server_stats(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["inflight"] = self._inflight
+        snap["max_inflight"] = self._max_inflight
+        snap["draining"] = self._draining
+        return snap
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.metrics.count_connection()
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass  # drain timeout force-close
+        except Exception:
+            pass  # one broken connection never kills the server
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        out_q: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_loop(writer, out_q))
+        try:
+            await self._read_loop(reader, out_q)
+            out_q.put_nowait(None)
+            await writer_task
+        except BaseException:
+            writer_task.cancel()
+            with contextlib.suppress(BaseException):
+                await writer_task
+            raise
+
+    async def _read_loop(self, reader, out_q: asyncio.Queue) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError as exc:  # request line over the limit
+                self.metrics.count_bad()
+                out_q.put_nowait(("dict", _error_response(exc)))
+                return
+            if not line:
+                return  # client closed
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                self.metrics.count_bad()
+                out_q.put_nowait(("dict", {"error": f"bad request: {exc}"}))
+                continue
+            if "ping" in request:
+                out_q.put_nowait(("dict", {"pong": True}))
+                continue
+            if "query" in request:
+                op = "query"
+            elif "insert" in request:
+                op = "insert"
+            elif "delete" in request:
+                op = "delete"
+            elif "stats" in request:
+                op = "stats"
+            else:
+                self.metrics.count_bad()
+                out_q.put_nowait(
+                    ("dict", {
+                        "error": "unknown request (want query/insert/"
+                        "delete/stats)"
+                    })
+                )
+                continue
+            # Admission control: past the bound, shed loudly instead of
+            # queueing without bound.  The shed response keeps its slot
+            # in the per-connection response order.
+            if self._inflight >= self._max_inflight:
+                self.metrics.count_shed(op)
+                out_q.put_nowait(("dict", dict(SHED_RESPONSE)))
+                continue
+            self._inflight += 1
+            if op == "query":
+                # Dispatch immediately: concurrent queries from every
+                # connection meet inside the service's micro-batcher.
+                started = time.perf_counter()
+                qtask = asyncio.create_task(self._backend.query(request))
+                qtask.add_done_callback(_consume_exception)
+                out_q.put_nowait(("task", op, qtask, started))
+            else:
+                # Writes/stats defer to the write loop: by the time the
+                # loop reaches this item, every earlier request on the
+                # connection has answered — the stdin barrier semantics.
+                out_q.put_nowait(("deferred", op, request))
+
+    async def _write_loop(self, writer, out_q: asyncio.Queue) -> None:
+        broken = False
+        while True:
+            item = await out_q.get()
+            if item is None:
+                return
+            if item[0] == "dict":
+                response = item[1]
+            elif item[0] == "task":
+                _, op, qtask, started = item
+                try:
+                    response = await qtask
+                except Exception as exc:
+                    response = _error_response(exc)
+                self.metrics.observe(
+                    op,
+                    time.perf_counter() - started,
+                    error="error" in response,
+                )
+                self._inflight -= 1
+            else:
+                _, op, request = item
+                started = time.perf_counter()
+                try:
+                    handler = getattr(self._backend, op)
+                    response = await handler(request)
+                except Exception as exc:
+                    response = _error_response(exc)
+                if op == "stats" and isinstance(response.get("stats"), dict):
+                    response["stats"]["server"] = self.server_stats()
+                self.metrics.observe(
+                    op,
+                    time.perf_counter() - started,
+                    error="error" in response,
+                )
+                self._inflight -= 1
+            if broken:
+                continue  # keep accounting; peer is gone
+            try:
+                writer.write(
+                    json.dumps(response, default=_json_default).encode("utf-8")
+                    + b"\n"
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                broken = True
+
+
+class ThreadedServer:
+    """Run an :class:`AsyncANNServer` on a background thread.
+
+    For tests and embedding: the caller stays synchronous, the server
+    gets its own event loop.  ``stop()`` performs a graceful drain.
+
+    >>> with ThreadedServer(ServiceBackend(service)) as ts:
+    ...     client = ServeClient("127.0.0.1", ts.port)
+    """
+
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0,
+                 **server_kwargs):
+        self._backend = backend
+        self._host = host
+        self._port = port
+        self._kwargs = server_kwargs
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._error: Optional[BaseException] = None
+        self.server: Optional[AsyncANNServer] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "ThreadedServer":
+        started = threading.Event()
+
+        def run() -> None:
+            async def main() -> None:
+                server = AsyncANNServer(
+                    self._backend, host=self._host, port=self._port,
+                    **self._kwargs,
+                )
+                await server.start()
+                self.server = server
+                self.port = server.port
+                self._loop = asyncio.get_running_loop()
+                start = getattr(self._backend, "start", None)
+                if start is not None:
+                    start(self._loop)
+                started.set()
+                await server.wait_closed()
+                aclose = getattr(self._backend, "aclose", None)
+                if aclose is not None:
+                    await aclose()
+
+            try:
+                asyncio.run(main())
+            except BaseException as exc:  # surface to the caller
+                self._error = exc
+                started.set()
+
+        self._thread = threading.Thread(
+            target=run, name="threaded-ann-server", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if self.server is None:
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def drain(self) -> None:
+        """Begin a graceful drain without waiting for exit."""
+        if self._loop is not None and self.server is not None:
+            self._loop.call_soon_threadsafe(self.server.begin_drain)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.drain()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not stop")
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI driver: single-process and prefork modes
+# ----------------------------------------------------------------------
+
+@dataclass
+class ServerConfig:
+    """Everything ``cli serve --tcp`` hands to :func:`run_server`."""
+
+    bundle: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    drain_timeout: float = 10.0
+    k: int = 10
+    cache_size: int = 1024
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+    mmap: bool = False
+    wal_dir: Optional[str] = None
+    fsync: str = "always"
+    snapshot_every: int = 500
+    snapshot_keep: int = 3
+    replicas: int = 0
+    tail_interval_ms: float = 50.0
+    extra_manifest_kwargs: dict = field(default_factory=dict)
+
+
+def _default_query_kwargs(bundle: str) -> dict:
+    from repro.serve.persistence import read_manifest
+
+    manifest = read_manifest(bundle)
+    return dict(manifest.get("extra", {}).get("query_kwargs", {}))
+
+
+def _open_primary_index(config: ServerConfig):
+    """(index, recovered?) for the process that owns writes.
+
+    Existing WAL state supersedes the bundle payload, exactly like
+    stdin mode: a restart resumes from the acknowledged truth.
+    """
+    from repro.serve.durability import list_snapshots, recover
+    from repro.serve.durability.wal import list_segments
+    from repro.serve.persistence import load_index
+
+    if config.wal_dir and os.path.isdir(config.wal_dir) and (
+        list_segments(config.wal_dir) or list_snapshots(config.wal_dir)
+    ):
+        result = recover(config.wal_dir, mmap=config.mmap)
+        return result.index, True
+    return load_index(config.bundle, mmap=config.mmap), False
+
+
+def _wrap_durable(index, config: ServerConfig):
+    from repro.serve.durability import DurableIndex, SnapshotManager
+
+    snapshots = SnapshotManager(
+        config.wal_dir,
+        keep=config.snapshot_keep,
+        every_ops=config.snapshot_every if config.snapshot_every > 0 else None,
+    )
+    return DurableIndex(
+        index, config.wal_dir, fsync=config.fsync, snapshots=snapshots
+    )
+
+
+def _log(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+def _make_listen_socket(
+    host: str, port: int, reuse_port: bool
+) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if reuse_port:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    return sock
+
+
+def run_server(config: ServerConfig) -> int:
+    """Blocking driver for ``cli serve --tcp``; returns an exit code."""
+    if config.workers <= 1:
+        return _run_single(config)
+    return _run_prefork(config)
+
+
+# -- single process ----------------------------------------------------
+
+def _run_single(config: ServerConfig) -> int:
+    from repro.serve.durability import ReplicaSet
+    from repro.serve.service import ANNService
+
+    default_kwargs = _default_query_kwargs(config.bundle)
+    index, recovered = _open_primary_index(config)
+    durable = None
+    replica_set = None
+    if config.wal_dir:
+        durable = _wrap_durable(index, config)
+        index = durable
+        if recovered:
+            _log(f"recovered WAL state: seq={durable.applied_seq}")
+        if config.replicas > 0:
+            replica_set = ReplicaSet(
+                durable, num_replicas=config.replicas, mmap=config.mmap
+            )
+            replica_set.start_tailing(config.tail_interval_ms / 1e3)
+    elif config.replicas > 0:
+        _log("--replicas requires --wal-dir (replicas tail the WAL)")
+        return 2
+
+    service = ANNService(
+        index,
+        cache_size=config.cache_size,
+        batch_window_ms=config.batch_window_ms,
+        max_batch_size=config.max_batch,
+    )
+    backend = ServiceBackend(
+        service,
+        default_kwargs=default_kwargs,
+        default_k=config.k,
+        durable=durable,
+        replica_set=replica_set,
+    )
+
+    async def main() -> int:
+        server = AsyncANNServer(
+            backend,
+            host=config.host,
+            port=config.port,
+            max_inflight=config.max_inflight,
+            drain_timeout=config.drain_timeout,
+            name="single",
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(
+                ValueError, NotImplementedError, RuntimeError
+            ):
+                loop.add_signal_handler(sig, server.begin_drain)
+        _log(
+            f"listening on {config.host}:{server.port} workers=1 "
+            f"max_inflight={config.max_inflight} pid={os.getpid()}"
+        )
+        await server.wait_closed()
+        snap = server.metrics.snapshot()
+        _log(
+            f"drained: served {snap['requests_total']} requests "
+            f"({snap['shed_total']} shed, {snap['errors_total']} errors)"
+        )
+        await backend.aclose()
+        return 0
+
+    try:
+        rc = asyncio.run(main())
+    finally:
+        service.close()
+        if replica_set is not None:
+            replica_set.close()
+        if durable is not None:
+            durable.close()
+            _log(f"WAL at {config.wal_dir}: seq={durable.applied_seq}")
+    return rc
+
+
+# -- prefork -----------------------------------------------------------
+
+def _close_inherited(socks: List[Optional[socket.socket]]) -> None:
+    for sock in socks:
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+
+def _worker_entry(
+    config: ServerConfig,
+    worker_id: int,
+    host: str,
+    port: int,
+    write_port: Optional[int],
+    ready,
+    shared_sock: Optional[socket.socket],
+    inherited: List[Optional[socket.socket]],
+) -> None:
+    _close_inherited(inherited)
+    try:
+        asyncio.run(
+            _worker_async(
+                config, worker_id, host, port, write_port, ready, shared_sock
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - terminal Ctrl-C
+        pass
+
+
+async def _worker_async(
+    config: ServerConfig,
+    worker_id: int,
+    host: str,
+    port: int,
+    write_port: Optional[int],
+    ready,
+    shared_sock: Optional[socket.socket],
+) -> None:
+    from repro.serve.persistence import load_index
+    from repro.serve.service import ANNService
+
+    default_kwargs = _default_query_kwargs(config.bundle)
+    applied_seq = None
+    if config.wal_dir:
+        from repro.serve.durability import recover
+
+        # Bootstrap as a log-shipping replica: the primary's baseline
+        # snapshot (taken before the fork) plus a log-suffix replay.
+        # mmap=True keeps the snapshot's arrays one physical copy
+        # shared by every worker on the machine.
+        result = recover(config.wal_dir, mmap=config.mmap)
+        index = result.index
+        applied_seq = int(result.applied_seq)
+    else:
+        index = load_index(config.bundle, mmap=config.mmap)
+    service = ANNService(
+        index,
+        cache_size=config.cache_size,
+        batch_window_ms=config.batch_window_ms,
+        max_batch_size=config.max_batch,
+    )
+    backend = ReplicaBackend(
+        service,
+        wal_dir=config.wal_dir,
+        applied_seq=applied_seq,
+        primary_addr=(
+            None if write_port is None else ("127.0.0.1", write_port)
+        ),
+        default_kwargs=default_kwargs,
+        default_k=config.k,
+        tail_interval_s=config.tail_interval_ms / 1e3,
+    )
+    sock = shared_sock
+    if sock is None:
+        sock = _make_listen_socket(host, port, reuse_port=True)
+    server = AsyncANNServer(
+        backend,
+        sock=sock,
+        max_inflight=config.max_inflight,
+        drain_timeout=config.drain_timeout,
+        name=f"worker-{worker_id}",
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(ValueError, NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, server.begin_drain)
+    backend.start(loop)
+    ready.set()
+    await server.wait_closed()
+    await backend.aclose()
+    service.close()
+
+
+def _primary_writer_thread(
+    write_sock: socket.socket,
+    durable,
+    stop_event: threading.Event,
+    started_event: threading.Event,
+    errors: Dict[str, BaseException],
+) -> None:
+    """The prefork parent's internal write server (its own loop)."""
+
+    async def main() -> None:
+        backend = PrimaryBackend(durable)
+        server = AsyncANNServer(
+            backend,
+            sock=write_sock,
+            max_inflight=1 << 20,  # workers self-limit; never shed writes
+            drain_timeout=5.0,
+            name="primary",
+        )
+        await server.start()
+        started_event.set()
+        while not stop_event.is_set():
+            await asyncio.sleep(0.05)
+        server.begin_drain()
+        await server.wait_closed()
+        await backend.aclose()
+
+    try:
+        asyncio.run(main())
+    except BaseException as exc:  # pragma: no cover - startup failure
+        errors["primary"] = exc
+        started_event.set()
+
+
+def _run_prefork(config: ServerConfig) -> int:
+    import multiprocessing
+
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        _log("--workers > 1 requires a POSIX platform (fork)")
+        return 2
+    have_reuseport = hasattr(socket, "SO_REUSEPORT")
+    _default_query_kwargs(config.bundle)  # validate the bundle early
+
+    host, port = config.host, config.port
+    placeholder = None
+    shared_sock = None
+    if have_reuseport:
+        if port == 0:
+            # Reserve an ephemeral port all workers can bind: a bound,
+            # never-listening SO_REUSEPORT socket holds the number
+            # without receiving connections.
+            placeholder = _make_listen_socket(host, 0, reuse_port=True)
+            port = placeholder.getsockname()[1]
+    else:  # pragma: no cover - platforms without SO_REUSEPORT
+        # Fall back to one listening socket shared by every forked
+        # worker (kernel wakes one accepter per connection).
+        shared_sock = _make_listen_socket(host, port, reuse_port=False)
+        port = shared_sock.getsockname()[1]
+
+    durable = None
+    write_sock = None
+    write_port = None
+    if config.wal_dir:
+        index, recovered = _open_primary_index(config)
+        durable = _wrap_durable(index, config)
+        if recovered:
+            _log(f"recovered WAL state: seq={durable.applied_seq}")
+        # The baseline snapshot exists now (DurableIndex takes it when
+        # wrapping a fitted index over an empty log), so workers forked
+        # below can bootstrap from it.
+        write_sock = _make_listen_socket("127.0.0.1", 0, reuse_port=False)
+        write_port = write_sock.getsockname()[1]
+
+    ctx = multiprocessing.get_context("fork")
+    inherited = [placeholder, write_sock]
+    ready_events = [ctx.Event() for _ in range(config.workers)]
+    procs = []
+    for worker_id in range(config.workers):
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(
+                config, worker_id, host, port, write_port,
+                ready_events[worker_id], shared_sock, inherited,
+            ),
+            name=f"ann-worker-{worker_id}",
+        )
+        proc.start()
+        procs.append(proc)
+    if shared_sock is not None:  # pragma: no cover - no-SO_REUSEPORT path
+        shared_sock.close()  # workers hold their inherited copies
+
+    def _terminate_all() -> None:
+        for proc in procs:
+            if proc.is_alive():
+                with contextlib.suppress(OSError):
+                    proc.terminate()  # SIGTERM -> worker graceful drain
+
+    # Primary write server (only with a WAL).
+    stop_primary = threading.Event()
+    primary_errors: Dict[str, BaseException] = {}
+    primary_thread = None
+    if durable is not None:
+        primary_started = threading.Event()
+        primary_thread = threading.Thread(
+            target=_primary_writer_thread,
+            args=(
+                write_sock, durable, stop_primary, primary_started,
+                primary_errors,
+            ),
+            name="ann-primary",
+            daemon=True,
+        )
+        primary_thread.start()
+        primary_started.wait(timeout=30)
+        if "primary" in primary_errors:
+            _log(f"primary write server failed: {primary_errors['primary']}")
+            _terminate_all()
+            for proc in procs:
+                proc.join(timeout=10)
+            return 1
+
+    for worker_id, event in enumerate(ready_events):
+        if not event.wait(timeout=60):
+            _log(f"worker {worker_id} failed to start; aborting")
+            _terminate_all()
+            for proc in procs:
+                proc.join(timeout=10)
+            return 1
+    roles = "replicas" if config.wal_dir else "read-only"
+    _log(
+        f"listening on {host}:{port} workers={config.workers} ({roles}) "
+        f"max_inflight={config.max_inflight} "
+        f"pids={[proc.pid for proc in procs]}"
+    )
+
+    # Forward SIGTERM/SIGINT to the workers; they drain gracefully and
+    # exit, which unblocks the joins below.
+    signal.signal(signal.SIGTERM, lambda *_: _terminate_all())
+    signal.signal(signal.SIGINT, lambda *_: _terminate_all())
+
+    rc = 0
+    try:
+        for proc in procs:
+            proc.join()
+            if proc.exitcode not in (0, -signal.SIGTERM):
+                rc = 1
+                _log(f"worker {proc.name} exited with {proc.exitcode}")
+    except KeyboardInterrupt:  # pragma: no cover - terminal Ctrl-C
+        _terminate_all()
+        for proc in procs:
+            proc.join(timeout=config.drain_timeout + 5)
+    finally:
+        stop_primary.set()
+        if primary_thread is not None:
+            primary_thread.join(timeout=15)
+        if durable is not None:
+            durable.close()
+            _log(f"WAL at {config.wal_dir}: seq={durable.applied_seq}")
+        _close_inherited([placeholder, write_sock])
+    _log("all workers drained")
+    return rc

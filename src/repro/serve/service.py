@@ -44,7 +44,7 @@ from typing import Deque, Tuple
 import numpy as np
 
 from repro.base import ANNIndex
-from repro.serve.cache import QueryCache, query_key
+from repro.serve.cache import QueryCache, freeze_kwargs, query_key
 from repro.serve.concurrency import ConcurrentIndex
 from repro.serve.durability.wal import DurableIndex
 
@@ -60,8 +60,10 @@ class _Request:
         self.q = q
         self.k = k
         self.kwargs = kwargs
-        #: requests batch together only when k and kwargs agree
-        self.group = (k, tuple(sorted(kwargs.items())))
+        #: requests batch together only when k and kwargs agree; frozen
+        #: so ndarray/list-valued kwargs neither break the ``==`` group
+        #: comparison nor diverge from the cache's keying
+        self.group = (k, freeze_kwargs(kwargs))
         self.future: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
 
 

@@ -185,3 +185,85 @@ def test_cache_disabled_service_still_correct():
         want = replica.query(q, k=3, num_candidates=30)
         assert got[0].tobytes() == want[0].tobytes()
         assert "cache_hits" not in service.stats()
+
+
+# ----------------------------------------------------------------------
+# Unhashable kwarg values (regression: TypeError from query_key, and a
+# ValueError killing the micro-batcher's group comparison)
+# ----------------------------------------------------------------------
+
+
+def test_query_key_accepts_unhashable_kwarg_values():
+    """Regression: list/ndarray/dict kwarg values used to raise
+
+    ``TypeError: unhashable type`` the moment the key hit the cache's
+    dict.  ``freeze_kwargs`` must normalize them into hashable
+    equivalents, insensitive to kwarg order.
+    """
+    q = np.arange(DIM, dtype=np.float64)
+    kwargs = {
+        "subset": [1, 2, 3],
+        "weights": np.array([0.5, 0.25]),
+        "opts": {"b": 2, "a": 1},
+    }
+    key = query_key(q, 3, 0, kwargs)
+    assert {key: "cached"}[key] == "cached"  # usable as a dict key
+    same = query_key(
+        q, 3, 0,
+        {
+            "opts": {"a": 1, "b": 2},
+            "weights": np.array([0.5, 0.25]),
+            "subset": (1, 2, 3),  # list vs tuple: same frozen sequence
+        },
+    )
+    assert key == same
+    different = query_key(
+        q, 3, 0, {**kwargs, "subset": [1, 2, 4]}
+    )
+    assert key != different
+
+
+def test_freeze_kwargs_distinguishes_dtype_shape_and_scalars():
+    from repro.serve import freeze_kwargs
+
+    base = freeze_kwargs({"w": np.array([1.0, 2.0])})
+    assert base == freeze_kwargs({"w": np.array([1.0, 2.0])})
+    assert base != freeze_kwargs({"w": np.array([1.0, 2.0], np.float32)})
+    assert base != freeze_kwargs({"w": np.array([[1.0], [2.0]])})
+    # numpy scalars fold to their python value: np.int64(5) and 5 are
+    # the same query, so they must be the same cache key
+    assert freeze_kwargs({"n": np.int64(5)}) == freeze_kwargs({"n": 5})
+
+
+def test_request_group_comparison_is_plain_bool_with_array_kwargs():
+    """Regression: ``_Request.group`` held raw kwarg values, so the
+
+    batcher's ``group == group`` comparison on ndarray values raised
+    ``ValueError: truth value of an array ... is ambiguous`` inside the
+    executor thread, killing the micro-batcher.
+    """
+    from repro.serve.service import _Request
+
+    q = np.zeros(DIM)
+    r1 = _Request(q, 3, {"weights": np.array([1.0, 2.0])})
+    r2 = _Request(q.copy(), 3, {"weights": np.array([1.0, 2.0])})
+    r3 = _Request(q, 3, {"weights": np.array([1.0, 3.0])})
+    assert (r1.group == r2.group) is True
+    assert (r1.group == r3.group) is False
+
+
+def test_service_query_with_numpy_kwarg_end_to_end():
+    """The whole path — cache lookup, batch grouping, cache fill — must
+
+    work when a kwarg value is a numpy scalar, and hit the same cache
+    entry as the equivalent python int.
+    """
+    index = _fitted_dynamic()
+    rng = np.random.default_rng(23)
+    q = rng.normal(size=DIM)
+    with ANNService(index, cache_size=16, batch_window_ms=0.0) as service:
+        first = service.query(q, k=3, num_candidates=np.int64(30))
+        again = service.query(q, k=3, num_candidates=30)
+        assert service.stats()["cache_hits"] >= 1
+        assert first[0].tobytes() == again[0].tobytes()
+        assert first[1].tobytes() == again[1].tobytes()
