@@ -248,6 +248,23 @@ def _cmd_build(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    lsm_knobs = {
+        "memtable_size": args.memtable_size,
+        "max_segments": args.max_segments,
+        "compaction": args.compaction,
+    }
+    lsm_knobs = {k: v for k, v in lsm_knobs.items() if v is not None}
+    if lsm_knobs:
+        if args.method != "dynamic":
+            print(
+                "--memtable-size/--max-segments/--compaction apply to "
+                "--method dynamic only",
+                file=sys.stderr,
+            )
+            return 2
+        # The knobs ride in the spec's kwargs, so they reach process-pool
+        # shard builds and are recorded in the bundle manifest.
+        spec.kwargs.update(lsm_knobs)
     if args.shards > 1:
         index = ShardedIndex(
             spec, num_shards=args.shards, parallel=args.parallel
@@ -929,6 +946,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--mmap", action="store_true",
         help="after saving, verify the bundle cold-opens memory-mapped "
         "and report the open latency",
+    )
+    p.add_argument(
+        "--memtable-size", type=int, default=None,
+        help="(--method dynamic) absolute memtable row budget before a "
+        "seal; replaces the relative rebuild-threshold rule",
+    )
+    p.add_argument(
+        "--max-segments", type=int, default=None,
+        help="(--method dynamic) compact once the sealed segment count "
+        "exceeds this (default 4)",
+    )
+    p.add_argument(
+        "--compaction", choices=("inline", "background", "rebuild"),
+        default=None,
+        help="(--method dynamic) segment merge strategy: inline "
+        "(deterministic, default), background (off the write path), or "
+        "rebuild (legacy full O(n) rebuild per seal)",
     )
     p.add_argument("--seed", type=int, default=42)
     _add_backend_arg(p)

@@ -1,32 +1,47 @@
-"""Dynamic wrapper around LCCS-LSH: inserts, deletes, periodic rebuilds.
+"""Dynamic wrapper around LCCS-LSH: an LSM-tiered incremental index.
 
 The CSA is a static structure (sorted arrays + next links), like the
 suffix array it derives from.  Real database deployments still need
-updates, so this wrapper applies the standard static-to-dynamic recipe:
+updates, so this wrapper applies the LSM recipe on top of it:
 
-* **inserts** land in an unindexed *pending buffer* that queries scan
-  linearly (exact, so fresh points are never missed);
+* **inserts** land in a small writable *memtable* (an unindexed pending
+  buffer that queries scan linearly, exact — fresh points are never
+  missed);
+* when the memtable outgrows its budget it is **sealed** into an
+  immutable segment — a static :class:`LCCSLSH` built over just the
+  sealed rows, so the seal costs ``O(|memtable|)``, not ``O(n)``;
 * **deletes** are tombstones filtered out of every result;
-* when the buffer outgrows ``rebuild_threshold`` (a fraction of the
-  indexed size) or tombstones outgrow half of it, the CSA is rebuilt
-  over the merged live set.
+* queries fan out across the memtable and every sealed segment and
+  merge through the same canonical ``(distance, handle)`` order the
+  sharded fan-out path uses, so under candidate saturation results are
+  byte-identical to a single index built over the whole live set;
+* segments are **merge-compacted** back into one — inline by default
+  (deterministic in op order), or on a background thread
+  (``compaction="background"``) that builds the merged CSA off the
+  write path and publishes it via the usual atomic epoch swap, with the
+  merge sequenced through the WAL (``seal``/``compact`` records) so
+  crash recovery and log-tailing replicas stay byte-exact.
 
 This is an extension beyond the paper (which evaluates static indexes);
 it exercises the same public machinery and shows the cost model: queries
-pay ``O(|buffer| * d)`` extra until the next rebuild.
+pay ``O(|memtable| * d)`` plus one extra CSA probe per segment until the
+next compaction, and writers never stall on an O(n) rebuild.
 
-**Interleaving discipline.**  All of the CSA/buffer/tombstone
+**Interleaving discipline.**  All of the segment/memtable/tombstone
 bookkeeping lives in one :class:`_DynState` object published with a
-single attribute store, and a rebuild *builds the new CSA first* and
-swaps the state last — so at no instant does the index pass through a
-state where buffered points are invisible or handle translation mixes
-epochs (the hazard ``tests/test_dynamic_hazards.py`` pins down with a
-mid-rebuild query).  Queries snapshot the state once at entry.  This
-makes single mutator / reentrant-read interleavings safe by
-construction; for genuinely concurrent readers and writers, wrap the
-index in :class:`repro.serve.ConcurrentIndex`, which serializes writes
-against reads (this class on its own is **not** thread-safe: e.g. two
-racing ``insert`` calls may assign the same handle).
+single attribute store, and every structural change (seal, compaction,
+full rebuild) *builds the new tier first* and swaps the state last — so
+at no instant does the index pass through a state where buffered points
+are invisible or handle translation mixes epochs (the hazard
+``tests/test_dynamic_hazards.py`` pins down with a mid-rebuild query).
+Queries snapshot the state once at entry.  This makes single mutator /
+reentrant-read interleavings safe by construction; for genuinely
+concurrent readers and writers, wrap the index in
+:class:`repro.serve.ConcurrentIndex`, which serializes writes against
+reads (this class on its own is **not** thread-safe: e.g. two racing
+``insert`` calls may assign the same handle).  The background
+compaction thread only ever *builds* — commits happen on the caller's
+write path, inside whatever lock the caller already holds.
 """
 
 from __future__ import annotations
@@ -37,47 +52,63 @@ import numpy as np
 
 from repro.base import ANNIndex
 from repro.core.lccs_lsh import LCCSLSH
+from repro.core.segments import CompactionManager, Segment, merge_segments
 from repro.distances import pairwise, pairwise_rows
 
 __all__ = ["DynamicLCCSLSH"]
 
+#: accepted compaction strategies (see :class:`DynamicLCCSLSH`)
+_COMPACTION_MODES = ("inline", "background", "rebuild")
+
 
 class _DynState:
-    """One epoch of index state: CSA + handle map + buffer + tombstones.
+    """One epoch of index state: segments + memtable + tombstones.
 
-    A rebuild replaces the whole object in a single attribute store (no
-    in-place clearing), so any reader that grabbed a reference keeps a
-    fully consistent pre-rebuild view.  Between rebuilds the only
-    mutations are ``buffer.append`` and ``dead.add`` — both atomic under
-    CPython — appended strictly after the backing row is written.
+    A structural change replaces the whole object in a single attribute
+    store (no in-place clearing), so any reader that grabbed a reference
+    keeps a fully consistent pre-change view.  Between swaps the only
+    mutations are ``buffer.append``/``buffer_set.add`` and ``dead.add``
+    — each atomic under CPython — applied strictly after the backing row
+    is written.
     """
 
-    __slots__ = ("inner", "indexed_handles", "buffer", "dead")
+    __slots__ = ("segments", "buffer", "buffer_set", "dead")
 
     def __init__(
         self,
-        inner: Optional[LCCSLSH],
-        indexed_handles: np.ndarray,
+        segments: Tuple[Segment, ...],
         buffer: List[int],
+        buffer_set: set,
         dead: set,
     ):
-        self.inner = inner
-        self.indexed_handles = indexed_handles
+        self.segments = segments
         self.buffer = buffer
+        self.buffer_set = buffer_set
         self.dead = dead
 
 
 class DynamicLCCSLSH(ANNIndex):
-    """LCCS-LSH with insert/delete support via buffering and rebuilds.
+    """LCCS-LSH with insert/delete support via LSM tiers.
 
     Args:
-        rebuild_threshold: rebuild when the pending buffer exceeds this
-            fraction of the indexed points (default 0.2).
+        rebuild_threshold: seal the memtable when it exceeds this
+            fraction of the indexed (segment) rows (default 0.2).
+        memtable_size: absolute memtable row budget; when given it
+            replaces the relative ``rebuild_threshold`` seal rule.
+        max_segments: compact back to one segment once the sealed
+            segment count exceeds this (default 4).
+        compaction: ``"inline"`` (default) merges synchronously on the
+            write path — deterministic in op order; ``"background"``
+            builds the merged segment on a helper thread and commits it
+            at the end of a later write op (sequenced through the WAL
+            when wrapped in a ``DurableIndex``); ``"rebuild"`` restores
+            the legacy behavior — every seal is a full O(n) rebuild —
+            and exists as the benchmark baseline.
         (other arguments forwarded to :class:`LCCSLSH`)
 
     Point ids are *stable handles*: the id returned by :meth:`insert`
-    (and used by :meth:`delete`) always refers to the same vector, across
-    rebuilds.
+    (and used by :meth:`delete`) always refers to the same vector,
+    across seals and compactions.
 
     Not thread-safe by itself — wrap in
     :class:`repro.serve.ConcurrentIndex` for concurrent serving.
@@ -91,37 +122,56 @@ class DynamicLCCSLSH(ANNIndex):
         m: int = 64,
         metric: str = "euclidean",
         rebuild_threshold: float = 0.2,
+        memtable_size: Optional[int] = None,
+        max_segments: int = 4,
+        compaction: str = "inline",
         **lccs_kwargs,
     ):
         super().__init__(dim, metric, lccs_kwargs.get("seed"))
         if not 0.0 < rebuild_threshold <= 1.0:
             raise ValueError("rebuild_threshold must be in (0, 1]")
+        if memtable_size is not None and int(memtable_size) < 1:
+            raise ValueError("memtable_size must be >= 1")
+        if int(max_segments) < 1:
+            raise ValueError("max_segments must be >= 1")
+        if compaction not in _COMPACTION_MODES:
+            raise ValueError(
+                f"compaction must be one of {_COMPACTION_MODES}, got {compaction!r}"
+            )
         self.rebuild_threshold = float(rebuild_threshold)
+        self.memtable_size = None if memtable_size is None else int(memtable_size)
+        self.max_segments = int(max_segments)
+        self.compaction = str(compaction)
         self._lccs_kwargs = dict(lccs_kwargs)
         self._m = int(m)
-        #: the current epoch (CSA + bookkeeping), swapped atomically
-        self._state = _DynState(
-            None, np.empty(0, dtype=np.int64), [], set()
-        )
+        #: the current epoch (segments + bookkeeping), swapped atomically
+        self._state = _DynState((), [], set(), set())
         # All ever-inserted rows live in ``_store[:_size]``; the store
         # grows by doubling so n inserts cost O(n) amortised copies
         # instead of the O(n^2) of per-insert vstack.
         self._store: Optional[np.ndarray] = None
         self._size = 0
+        #: epoch publishes (fit, seals, compactions, full rebuilds)
         self.rebuilds = 0
+        #: memtable seals (each builds one small segment)
+        self.seals = 0
+        #: segment merges committed (inline, background, or replayed)
+        self.compactions = 0
+        #: background builds that died with an exception
+        self.compaction_errors = 0
+        self._compactor = CompactionManager()
+        #: structural-op listener — DurableIndex registers one so seals
+        #: and compactions are logged *before* the epoch swap
+        self._listener = None
+        #: set while replaying WAL records: background scheduling and
+        #: listener notifications are suppressed (replicas and recovery
+        #: are driven purely by the logged record stream)
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # Epoch-state accessors (kept for persistence and inspection; always
     # read them through one `state = self._state` snapshot in hot paths)
     # ------------------------------------------------------------------
-
-    @property
-    def _inner(self) -> Optional[LCCSLSH]:
-        return self._state.inner
-
-    @property
-    def _indexed_handles(self) -> np.ndarray:
-        return self._state.indexed_handles
 
     @property
     def _buffer_handles(self) -> List[int]:
@@ -142,7 +192,7 @@ class DynamicLCCSLSH(ANNIndex):
     def live_count(self) -> int:
         """Number of queryable (non-deleted) points."""
         state = self._state
-        total = len(state.indexed_handles) + len(state.buffer)
+        total = sum(seg.n for seg in state.segments) + len(state.buffer)
         return total - len(state.dead)
 
     @property
@@ -150,62 +200,254 @@ class DynamicLCCSLSH(ANNIndex):
         return len(self._state.buffer)
 
     @property
+    def segment_count(self) -> int:
+        return len(self._state.segments)
+
+    def tier_stats(self) -> dict:
+        """JSON-safe snapshot of the LSM tier shape and its counters."""
+        state = self._state
+        return {
+            "segments": len(state.segments),
+            "segment_rows": [int(seg.n) for seg in state.segments],
+            "memtable": len(state.buffer),
+            "tombstones": len(state.dead),
+            "memtable_budget": self.memtable_size,
+            "max_segments": self.max_segments,
+            "compaction": self.compaction,
+            "seals": int(self.seals),
+            "compactions": int(self.compactions),
+            "compaction_errors": int(self.compaction_errors),
+            "rebuilds": int(self.rebuilds),
+            "pending_compaction": self._compactor.busy,
+        }
+
+    def set_structural_listener(self, listener) -> None:
+        """Register ``listener(kind, payload)`` for seal/compact events.
+
+        Called *before* the corresponding epoch swap, on the write path,
+        so a durability wrapper can append the WAL record first
+        (log-then-apply).  ``kind`` is ``"seal"`` (payload: store size at
+        the seal point) or ``"compact"`` (payload: ``(j, dropped)`` — the
+        number of head segments merged and the tombstoned handles the
+        merge excluded).
+        """
+        self._listener = listener
+
+    @property
     def kernel_backend(self) -> str:
-        """Kernel backend of the inner CSA (resolved default before fit)."""
-        inner = self._state.inner
-        if inner is not None:
-            return inner.kernel_backend
+        """Kernel backend of the sealed CSAs (resolved default before fit)."""
+        state = self._state
+        if state.segments:
+            return state.segments[0].inner.kernel_backend
         from repro.kernels import resolve_backend
 
         return resolve_backend(self._lccs_kwargs.get("backend")).name
 
     def set_kernel_backend(self, backend: Optional[str]) -> str:
-        """Switch backends on the live inner index AND the rebuild recipe.
+        """Switch backends on every live segment AND the build recipe.
 
-        Both must change together: the current epoch's CSA re-resolves
+        Both must change together: the current epoch's CSAs re-resolve
         immediately, and ``_lccs_kwargs`` carries the choice into every
-        future rebuild's fresh inner index.
+        future seal/compaction's fresh inner index.
         """
         self._lccs_kwargs["backend"] = backend
-        inner = self._state.inner
-        if inner is not None:
-            return inner.set_kernel_backend(backend)
-        from repro.kernels import resolve_backend
+        name: Optional[str] = None
+        for seg in self._state.segments:
+            name = seg.inner.set_kernel_backend(backend)
+        if name is None:
+            from repro.kernels import resolve_backend
 
-        return resolve_backend(backend).name
+            name = resolve_backend(backend).name
+        return name
+
+    # ------------------------------------------------------------------
+    # Tier construction: seals, compactions, full rebuilds
+    # ------------------------------------------------------------------
+
+    def _make_inner(self) -> LCCSLSH:
+        # Via the module global so tests can monkeypatch LCCSLSH.
+        return LCCSLSH(
+            dim=self.dim, m=self._m, metric=self.metric, **self._lccs_kwargs
+        )
+
+    def _build_segment(self, handles: np.ndarray) -> Segment:
+        handles = np.asarray(handles, dtype=np.int64)
+        return Segment(self._make_inner().fit(self._vectors[handles]), handles)
 
     def _fit(self, data: np.ndarray) -> None:
         self._store = np.array(data, dtype=np.float64, copy=True)
         self._size = len(data)
-        self._state = _DynState(
-            None, np.arange(len(data), dtype=np.int64), [], set()
-        )
+        handles = list(range(len(data)))
+        self._state = _DynState((), handles, set(handles), set())
         self._rebuild()
 
     def _rebuild(self) -> None:
-        """Rebuild the CSA over the live set and swap epochs atomically.
+        """Full compaction: rebuild ONE CSA over the live set and swap.
 
-        The new inner index is fully built *before* any bookkeeping
-        changes; the old epoch object is never mutated.  A query that
-        interleaves with the (slow) CSA construction therefore still
-        sees the complete pre-rebuild state — buffer included.
+        Absorbs the memtable, merges every segment, and drops all
+        tombstones.  The new inner index is fully built *before* any
+        bookkeeping changes; the old epoch object is never mutated.  A
+        query that interleaves with the (slow) CSA construction
+        therefore still sees the complete pre-rebuild state — memtable
+        included.
         """
         old = self._state
-        live = [h for h in old.indexed_handles if h not in old.dead]
-        live += [h for h in old.buffer if h not in old.dead]
-        indexed_handles = np.array(sorted(live), dtype=np.int64)
-        if len(indexed_handles) == 0:
-            # Everything was deleted: no CSA to build; queries fall back
-            # to the (empty) buffer scan until the next insert.
-            inner = None
-        else:
-            inner = LCCSLSH(
-                dim=self.dim, m=self._m, metric=self.metric, **self._lccs_kwargs
+        parts = [seg.handles for seg in old.segments]
+        if old.buffer:
+            parts.append(np.asarray(old.buffer, dtype=np.int64))
+        live = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        if old.dead and len(live):
+            dead_arr = np.fromiter(
+                old.dead, dtype=np.int64, count=len(old.dead)
             )
-            inner.fit(self._vectors[indexed_handles])
-        self._state = _DynState(inner, indexed_handles, [], set())
+            live = live[~np.isin(live, dead_arr)]
+        live = np.sort(live)
+        if len(live) == 0:
+            # Everything was deleted: no CSA to build; queries fall back
+            # to the (empty) memtable scan until the next insert.
+            segments: Tuple[Segment, ...] = ()
+        else:
+            segments = (self._build_segment(live),)
+        self._state = _DynState(segments, [], set(), set())
         self.rebuilds += 1
 
+    def _seal(self) -> None:
+        """Freeze the memtable into one sealed segment (O(|memtable|)).
+
+        Tombstoned memtable entries are dropped outright — they never
+        reached a segment, so nothing else references them.  The dead
+        set shrinks accordingly (stale handles still raise in
+        :meth:`delete` via the not-found path).
+        """
+        old = self._state
+        live = sorted(h for h in old.buffer if h not in old.dead)
+        segments = old.segments
+        if live:
+            segments = segments + (
+                self._build_segment(np.asarray(live, dtype=np.int64)),
+            )
+        self._state = _DynState(
+            segments, [], set(), old.dead - old.buffer_set
+        )
+        self.rebuilds += 1
+        self.seals += 1
+
+    def _commit_compaction(self, result, log: bool) -> None:
+        """Swap a finished merge in: replace the first ``j`` segments.
+
+        When ``log`` is set and a structural listener is registered, the
+        WAL ``compact`` record is appended *before* the swap
+        (log-then-apply), carrying the dropped handles so replay
+        reproduces this exact merge.
+        """
+        j = len(result.inputs)
+        if log and self._listener is not None and not self._replaying:
+            self._listener("compact", (j, list(result.dropped)))
+        state = self._state
+        merged = (result.segment,) if result.segment is not None else ()
+        self._state = _DynState(
+            merged + state.segments[j:],
+            state.buffer,
+            state.buffer_set,
+            state.dead - set(result.dropped),
+        )
+        self.rebuilds += 1
+        self.compactions += 1
+
+    def _compact_now(self, log: bool) -> None:
+        state = self._state
+        result = merge_segments(state.segments, state.dead, self._build_segment)
+        self._commit_compaction(result, log=log)
+
+    def _schedule_compaction(self) -> bool:
+        """Start a background merge of the current segment stack.
+
+        The job captures an immutable snapshot (segment tuple, a copy of
+        the tombstones, the store prefix view — rows below the current
+        size are never rewritten, growth allocates a fresh array) and
+        only *builds*; the commit happens on a later write op.
+        """
+        state = self._state
+        inputs = state.segments
+        if len(inputs) < 2:
+            return False
+        dead = set(state.dead)
+        vectors = self._vectors
+        make_inner = self._make_inner
+
+        def build(handles: np.ndarray) -> Segment:
+            return Segment(make_inner().fit(vectors[handles]), handles)
+
+        return self._compactor.schedule(
+            lambda: merge_segments(inputs, dead, build)
+        )
+
+    def _commit_ready(self) -> None:
+        """Commit a finished background build, if still valid.
+
+        Seals only *append* segments, so a build over the first ``j``
+        segments stays valid as long as those exact objects still head
+        the stack; a full rebuild (tombstone GC) replaces them, in which
+        case the stale result is dropped and a later op reschedules.
+        """
+        try:
+            result = self._compactor.take_ready()
+        except Exception:
+            # A failed background build must never poison the write
+            # path; count it and let a later op reschedule.
+            self.compaction_errors += 1
+            return
+        if result is None:
+            return
+        j = len(result.inputs)
+        state = self._state
+        if len(state.segments) < j or any(
+            state.segments[i] is not result.inputs[i] for i in range(j)
+        ):
+            return
+        self._commit_compaction(result, log=True)
+
+    def _service_background(self) -> None:
+        """End-of-write-op hook: commit ready builds, schedule new ones."""
+        if self.compaction != "background" or self._replaying:
+            return
+        self._commit_ready()
+        if (
+            len(self._state.segments) > self.max_segments
+            and not self._compactor.busy
+        ):
+            self._schedule_compaction()
+
+    def _maybe_compact(self) -> None:
+        state = self._state
+        indexed = max(1, sum(seg.n for seg in state.segments))
+        # Tombstone GC first: reclaiming dead rows needs a full rebuild
+        # (they live inside sealed segments), same cadence as ever.
+        if len(state.dead) > indexed // 2:
+            self._rebuild()
+            return
+        if self.memtable_size is not None:
+            full = len(state.buffer) >= self.memtable_size
+        else:
+            full = len(state.buffer) > self.rebuild_threshold * indexed
+        if not full:
+            return
+        if self.compaction == "rebuild":
+            self._rebuild()
+            return
+        self._seal()
+        if (
+            self.compaction == "inline"
+            and len(self._state.segments) > self.max_segments
+        ):
+            # Deterministic in op order — replicas replaying the same
+            # insert stream reach the same merge, so nothing is logged.
+            self._compact_now(log=False)
+
+    # ------------------------------------------------------------------
+    # Mutations
     # ------------------------------------------------------------------
 
     def insert(self, vector: np.ndarray) -> int:
@@ -213,8 +455,8 @@ class DynamicLCCSLSH(ANNIndex):
 
         Amortised O(d): the backing store doubles when full rather than
         reallocating per insert.  The row is fully written to the store
-        before its handle is published to the buffer, so an interleaved
-        reader never sees a half-initialised point.
+        before its handle is published to the memtable, so an
+        interleaved reader never sees a half-initialised point.
         """
         if self._store is None:
             raise RuntimeError("fit the index before inserting")
@@ -230,70 +472,129 @@ class DynamicLCCSLSH(ANNIndex):
         handle = self._size
         self._store[handle] = vector
         self._size += 1
-        self._state.buffer.append(handle)  # publish after the row exists
+        state = self._state
+        state.buffer.append(handle)  # publish after the row exists
+        state.buffer_set.add(handle)
         self._data = self._vectors  # keep the base-class view in sync
-        self._maybe_rebuild()
+        self._maybe_compact()
+        self._service_background()
         return handle
 
     def delete(self, handle: int) -> None:
         """Tombstone a point by handle; raises KeyError if unknown/dead.
 
-        Liveness is checked against the current epoch's indexed set and
-        buffer, not just its tombstones — a rebuild drops deleted
-        handles from the index *and* clears the tombstone set, so a
+        Liveness is checked against the current epoch's segments and
+        memtable, not just its tombstones — a compaction drops deleted
+        handles from the segments *and* clears their tombstones, so a
         stale handle must still raise rather than silently corrupt the
-        live count.
+        live count.  Memtable membership is an O(1) set probe; segment
+        membership is a binary search per segment.
         """
         if self._store is None or not 0 <= handle < self._size:
             raise KeyError(f"unknown handle {handle}")
         state = self._state
         if handle in state.dead:
             raise KeyError(f"handle {handle} already deleted")
-        pos = int(np.searchsorted(state.indexed_handles, handle))
-        indexed = (
-            pos < len(state.indexed_handles)
-            and int(state.indexed_handles[pos]) == handle
-        )
-        if not indexed and handle not in state.buffer:
+        if handle not in state.buffer_set and not any(
+            seg.contains(handle) for seg in state.segments
+        ):
             raise KeyError(f"handle {handle} already deleted")
         state.dead.add(handle)
-        self._maybe_rebuild()
+        self._maybe_compact()
+        self._service_background()
 
-    def _maybe_rebuild(self) -> None:
-        state = self._state
-        indexed = max(1, len(state.indexed_handles))
+    def flush(self) -> bool:
+        """Seal the memtable into a fresh segment now (manual seal).
+
+        Logged through the structural listener (WAL ``seal`` record)
+        when wrapped in a ``DurableIndex``, so recovery and replicas
+        replay it at the same op position.  No-op on an empty memtable.
+        """
+        if not self._state.buffer:
+            return False
+        if self._listener is not None and not self._replaying:
+            self._listener("seal", int(self._size))
+        self._seal()
         if (
-            len(state.buffer) > self.rebuild_threshold * indexed
-            or len(state.dead) > indexed // 2
+            self.compaction == "inline"
+            and len(self._state.segments) > self.max_segments
         ):
-            self._rebuild()
+            self._compact_now(log=False)
+        self._service_background()
+        return True
 
+    def compact(self) -> bool:
+        """Synchronously merge every sealed segment, dropping tombstones
+        that live inside them.
+
+        Logged as a WAL ``compact`` record (carrying the dropped
+        handles) so replay reproduces the merge byte-exactly.  Returns
+        False when there are no segments to merge.
+        """
+        if not self._state.segments:
+            return False
+        self._compact_now(log=True)
+        return True
+
+    def drain_compaction(self, timeout: Optional[float] = None) -> bool:
+        """Wait for an in-flight background build and commit it.
+
+        A convenience for tests, benchmarks, and orderly shutdown —
+        normal operation commits on the next write op instead.  If the
+        segment count is still over ``max_segments`` afterwards (the
+        writer outran the compactor), the next merge is scheduled, so
+        looping until this returns False fully quiesces the tier shape.
+        Returns True if a build was committed.
+        """
+        if self.compaction != "background":
+            return False
+        self._compactor.drain(timeout)
+        before = self.compactions
+        self._commit_ready()
+        if (
+            len(self._state.segments) > self.max_segments
+            and not self._compactor.busy
+        ):
+            self._schedule_compaction()
+        return self.compactions > before
+
+    # ------------------------------------------------------------------
+    # Queries: fan out across memtable + segments, merge canonically
     # ------------------------------------------------------------------
 
     def _merge_inner_stats(self, inner: LCCSLSH) -> None:
-        """Copy the inner index's work counters into ``last_stats``
-        (best-effort under parallel readers, see ``_stats_items``)."""
-        self.last_stats.update(self._stats_items(inner.last_stats))
+        """Accumulate one segment's work counters into ``last_stats``
+        (summed across segments; best-effort under parallel readers,
+        see ``_stats_items``)."""
+        for key, val in self._stats_items(inner.last_stats):
+            try:
+                self.last_stats[key] = self.last_stats.get(key, 0.0) + val
+            except TypeError:  # non-numeric stat: last segment wins
+                self.last_stats[key] = val
 
     def _query(
         self, q: np.ndarray, k: int, num_candidates: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        state = self._state  # one snapshot: CSA, handles, buffer, dead
+        state = self._state  # one snapshot: segments, memtable, dead
         pairs = []
-        if state.inner is not None:
-            state.inner.last_stats = {}  # counters are per outer query
-            inner_ids, inner_dists = state.inner._query(
-                q, min(k + len(state.dead), state.inner.n),
-                num_candidates=num_candidates,
+        # Per-segment budget: within its own segment, at most
+        # len(dead) tombstoned points plus k-1 live points can rank
+        # ahead of any global-top-k live point, so k + len(dead) per
+        # segment preserves exactness under candidate saturation.
+        budget = k + len(state.dead)
+        for seg in state.segments:
+            seg.inner.last_stats = {}  # counters are per outer query
+            inner_ids, inner_dists = seg.inner._query(
+                q, min(budget, seg.inner.n), num_candidates=num_candidates
             )
-            self._merge_inner_stats(state.inner)
-            # Translate inner positions to stable handles, drop tombstones.
-            pairs = [
-                (float(d), int(state.indexed_handles[i]))
-                for i, d in zip(inner_ids, inner_dists)
-                if int(state.indexed_handles[i]) not in state.dead
-            ]
-        # Exact scan of the pending buffer (it is small by construction).
+            self._merge_inner_stats(seg.inner)
+            # Translate positions to stable handles, drop tombstones.
+            seg_handles = seg.handles
+            for i, d in zip(inner_ids, inner_dists):
+                h = int(seg_handles[i])
+                if h not in state.dead:
+                    pairs.append((float(d), h))
+        # Exact scan of the memtable (it is small by construction).
         buffer = state.buffer
         for h in buffer:
             if h in state.dead:
@@ -310,36 +611,39 @@ class DynamicLCCSLSH(ANNIndex):
     def _batch_query(
         self, queries: np.ndarray, k: int, num_candidates: Optional[int] = None
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Vectorised batch path: batched inner search + one buffer scan.
+        """Vectorised batch path: batched per-segment search + one
+        memtable scan, merged through a single canonical lexsort.
 
-        The CSA-backed inner index answers the whole batch through its
-        own vectorised path, and the pending buffer is scanned with a
-        single cross-distance kernel call covering every (query, buffered
+        Each sealed CSA answers the whole batch through its own
+        vectorised path, and the memtable is scanned with one
+        cross-distance kernel call covering every (query, buffered
         point) pair.  Per query the results are identical to
         :meth:`_query`.
         """
         state = self._state  # one snapshot for the whole batch
         Q = len(queries)
-        inner_results: List[Tuple[np.ndarray, np.ndarray]]
-        if state.inner is not None:
-            state.inner.last_stats = {}
-            inner_results = state.inner._batch_query(
-                queries, min(k + len(state.dead), state.inner.n),
-                num_candidates=num_candidates,
+        if Q == 0:
+            return []
+        budget = k + len(state.dead)
+        per_seg: List[List[Tuple[np.ndarray, np.ndarray]]] = []
+        for seg in state.segments:
+            seg.inner.last_stats = {}
+            per_seg.append(
+                seg.inner._batch_query(
+                    queries,
+                    min(budget, seg.inner.n),
+                    num_candidates=num_candidates,
+                )
             )
-            self._merge_inner_stats(state.inner)
-        else:
-            inner_results = [
-                (np.empty(0, dtype=np.int64), np.empty(0)) for _ in range(Q)
-            ]
+            self._merge_inner_stats(seg.inner)
         buffer = list(state.buffer)
         live_buffer = [h for h in buffer if h not in state.dead]
-        if live_buffer and Q:
-            # Row-wise kernel (buffer tiled per query) rather than the
+        if live_buffer:
+            # Row-wise kernel (memtable tiled per query) rather than the
             # cross kernel: identical reduction order to the single-query
             # scan, so results stay bit-identical under every metric.
             # Chunked over queries to bound the tiled temporaries at
-            # ~8M elements regardless of Q x buffer size.
+            # ~8M elements regardless of Q x memtable size.
             buf = self._vectors[live_buffer]
             nb = len(buf)
             chunk = max(1, (1 << 23) // max(1, nb * self.dim))
@@ -352,39 +656,42 @@ class DynamicLCCSLSH(ANNIndex):
                     self.metric,
                 ).reshape(stop - start, nb)
         # Vectorised result merge: one padded (distance, handle) matrix
-        # per batch, one tombstone mask, one batched row-wise sort —
-        # instead of per-query Python tuple lists (which eroded batch
-        # gains as the insert buffer grew).  Sorting by (distance,
-        # handle) matches the tuple sort of the single-query path
-        # exactly, so results remain bit-identical.
+        # per batch, one tombstone mask, one batched row-wise sort.
+        # Sorting by (distance, handle) matches the tuple sort of the
+        # single-query path exactly, so results remain bit-identical —
+        # and it is the same canonical order the sharded fan-out uses,
+        # so segment membership never shows through.
         self.last_stats["buffer_scanned"] = float(len(buffer)) * Q
         nb = len(live_buffer)
-        inner_counts = np.array(
-            [len(ids) for ids, _ in inner_results], dtype=np.int64
-        )
-        w_inner = int(inner_counts.max()) if Q else 0
-        width = w_inner + nb
+        seg_widths = [
+            max((len(ids) for ids, _ in res), default=0) for res in per_seg
+        ]
+        w_seg = int(sum(seg_widths))
+        width = w_seg + nb
         empty = (np.empty(0, dtype=np.int64), np.empty(0))
-        if width == 0 or Q == 0:
+        if width == 0:
             return [empty for _ in range(Q)]
         pad = np.int64(1) << 62  # sorts after every real handle
         handles = np.full((Q, width), pad, dtype=np.int64)
         dists = np.full((Q, width), np.inf)
-        for qi in range(Q):
-            ids, d = inner_results[qi]
-            if len(ids):
-                handles[qi, : len(ids)] = state.indexed_handles[ids]
-                dists[qi, : len(ids)] = d
-        if state.dead and w_inner:
+        col = 0
+        for seg, res, w in zip(state.segments, per_seg, seg_widths):
+            for qi in range(Q):
+                ids, d = res[qi]
+                if len(ids):
+                    handles[qi, col : col + len(ids)] = seg.handles[ids]
+                    dists[qi, col : col + len(ids)] = d
+            col += w
+        if state.dead and w_seg:
             dead_arr = np.fromiter(
                 state.dead, dtype=np.int64, count=len(state.dead)
             )
-            tomb = np.isin(handles[:, :w_inner], dead_arr)
-            handles[:, :w_inner][tomb] = pad
-            dists[:, :w_inner][tomb] = np.inf
+            tomb = np.isin(handles[:, :w_seg], dead_arr)
+            handles[:, :w_seg][tomb] = pad
+            dists[:, :w_seg][tomb] = np.inf
         if nb:
-            handles[:, w_inner:] = np.asarray(live_buffer, dtype=np.int64)[None, :]
-            dists[:, w_inner:] = buffer_dists
+            handles[:, w_seg:] = np.asarray(live_buffer, dtype=np.int64)[None, :]
+            dists[:, w_seg:] = buffer_dists
         row_idx = np.repeat(np.arange(Q, dtype=np.int64), width)
         perm = np.lexsort((handles.ravel(), dists.ravel(), row_idx))
         handles_sorted = handles.ravel()[perm].reshape(Q, width)
@@ -400,29 +707,30 @@ class DynamicLCCSLSH(ANNIndex):
 
     def index_size_bytes(self) -> int:
         state = self._state
-        inner = state.inner.index_size_bytes() if state.inner else 0
+        total = sum(seg.inner.index_size_bytes() for seg in state.segments)
         # Pending rows are part of the structure a deployment must hold
-        # to answer queries; count them until the next rebuild absorbs
-        # them into the CSA.
+        # to answer queries; count them until the next seal absorbs
+        # them into a segment.
         itemsize = self._store.itemsize if self._store is not None else 8
-        return inner + len(state.buffer) * self.dim * itemsize
+        return total + len(state.buffer) * self.dim * itemsize
 
     # ------------------------------------------------------------------
     # Native persistence: the live prefix of the store, the handle
-    # bookkeeping, and the inner LCCS index nested under an ``inner.``
-    # array prefix.  Only the live prefix is written, so the loaded
-    # store is exactly as large as its contents (growth restarts from
-    # there).
+    # bookkeeping, and each sealed segment nested under a ``seg{i}.``
+    # array prefix (handles + the inner LCCS arrays).  Only the live
+    # prefix is written, so the loaded store is exactly as large as its
+    # contents (growth restarts from there).
     #
     # Loaded arrays are adopted by reference and treated as immutable,
     # so an index loaded with ``load_index(path, mmap=True)`` serves
-    # from read-only memory maps.  Mutation promotes copy-on-write:
-    # the first ``insert`` finds the store full (the saved prefix has
-    # no slack) and grows it into a fresh writable array, ``delete``
-    # only touches the epoch's Python tombstone set, and a rebuild
-    # gathers the live rows into new arrays before building the new
-    # CSA — the mapped originals are never written, only dropped once
-    # no epoch references them.
+    # from read-only memory maps — sealed segments mmap straight from
+    # disk.  Mutation promotes copy-on-write: the first ``insert``
+    # finds the store full (the saved prefix has no slack) and grows it
+    # into a fresh writable array, ``delete`` only touches the epoch's
+    # Python tombstone set, and a seal/compaction gathers the live rows
+    # into new arrays before building the new CSA — the mapped
+    # originals are never written, only dropped once no epoch
+    # references them.
     # ------------------------------------------------------------------
 
     def _export_state(self) -> Tuple[dict, Dict[str, np.ndarray]]:
@@ -438,19 +746,25 @@ class DynamicLCCSLSH(ANNIndex):
         state: dict = {
             "m": self._m,
             "rebuild_threshold": self.rebuild_threshold,
+            "memtable_size": self.memtable_size,
+            "max_segments": self.max_segments,
+            "compaction": self.compaction,
             "lccs_kwargs": dict(self._lccs_kwargs),
             "buffer_handles": [int(h) for h in epoch.buffer],
             "dead": sorted(int(h) for h in epoch.dead),
             "rebuilds": int(self.rebuilds),
+            "seals": int(self.seals),
+            "compactions": int(self.compactions),
+            "segments": [],
         }
         arrays: Dict[str, np.ndarray] = {}
         if self._store is not None:
             arrays["store"] = self._vectors
-            arrays["indexed_handles"] = epoch.indexed_handles
-        if epoch.inner is not None:
-            inner_manifest, inner_arrays = export_index(epoch.inner)
-            state["inner"] = inner_manifest
-            arrays.update(pack_nested(inner_arrays, "inner"))
+        for i, seg in enumerate(epoch.segments):
+            inner_manifest, inner_arrays = export_index(seg.inner)
+            state["segments"].append(inner_manifest)
+            arrays[f"seg{i}.handles"] = seg.handles
+            arrays.update(pack_nested(inner_arrays, f"seg{i}.inner"))
         return state, arrays
 
     @classmethod
@@ -462,34 +776,71 @@ class DynamicLCCSLSH(ANNIndex):
         state = manifest["state"]
         kwargs = dict(state["lccs_kwargs"])
         kwargs.setdefault("seed", manifest["seed"])
+        memtable_size = state.get("memtable_size")
         index = cls(
             dim=int(manifest["dim"]),
             m=int(state["m"]),
             metric=manifest["metric"],
             rebuild_threshold=float(state["rebuild_threshold"]),
+            memtable_size=(
+                None if memtable_size is None else int(memtable_size)
+            ),
+            max_segments=int(state.get("max_segments", 4)),
+            compaction=str(state.get("compaction", "inline")),
             **kwargs,
         )
-        indexed_handles = np.empty(0, dtype=np.int64)
         if "store" in arrays:
             index._store = np.ascontiguousarray(arrays["store"])
             index._size = len(index._store)
-            indexed_handles = np.asarray(
-                arrays["indexed_handles"], dtype=np.int64
-            )
             index._data = index._vectors
-        inner = None
+        segments: List[Segment] = []
         if "inner" in state:
+            # Pre-LSM bundle layout: one CSA under "inner" plus a flat
+            # handle array — adopt it as a single sealed segment.
             inner = import_index(
                 state["inner"], unpack_nested(arrays, "inner"), source="<inner>"
             )
+            segments.append(
+                Segment(inner, np.asarray(arrays["indexed_handles"], dtype=np.int64))
+            )
+        else:
+            for i, seg_manifest in enumerate(state.get("segments", [])):
+                inner = import_index(
+                    seg_manifest,
+                    unpack_nested(arrays, f"seg{i}.inner"),
+                    source=f"<seg{i}>",
+                )
+                segments.append(
+                    Segment(
+                        inner,
+                        np.asarray(arrays[f"seg{i}.handles"], dtype=np.int64),
+                    )
+                )
+        buffer = [int(h) for h in state["buffer_handles"]]
         index._state = _DynState(
-            inner,
-            indexed_handles,
-            [int(h) for h in state["buffer_handles"]],
+            tuple(segments),
+            buffer,
+            set(buffer),
             set(int(h) for h in state["dead"]),
         )
         index.rebuilds = int(state["rebuilds"])
+        index.seals = int(state.get("seals", 0))
+        index.compactions = int(state.get("compactions", 0))
         return index
+
+    # The compaction manager owns a lock and (possibly) a thread, and
+    # the listener points back into a durability wrapper — neither
+    # belongs in a pickle (the pickle-fallback bundle path serializes
+    # whole indexes when kwargs are not JSON-safe).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_compactor"] = None
+        state["_listener"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._compactor = CompactionManager()
 
     # ------------------------------------------------------------------
     # Replayable op records (consumed by repro.serve.durability)
@@ -499,30 +850,73 @@ class DynamicLCCSLSH(ANNIndex):
         """Apply one replayable op record; returns the insert handle.
 
         ``op`` is a ``(kind, payload)`` pair — ``("fit", data)``,
-        ``("insert", vector)`` or ``("delete", handle)`` — the shape the
+        ``("insert", vector)``, ``("delete", handle)``, ``("seal",
+        boundary)`` or ``("compact", (j, dropped))`` — the shapes the
         write-ahead log decodes records into.  Because handles are
-        assigned deterministically in op order, replaying a log of these
-        records on a fresh index reproduces the original state exactly.
-        A ``delete`` that raises ``KeyError`` is applied as a no-op: the
-        live call that logged it also raised without changing state, so
-        replayed and acknowledged state stay identical.
+        assigned deterministically in op order and structural ops carry
+        their inputs explicitly, replaying a log of these records on a
+        fresh index reproduces the original state exactly.  While
+        replaying, background scheduling and listener notifications are
+        suppressed — the record stream itself drives every structural
+        change.  A ``delete`` that raises ``KeyError`` is applied as a
+        no-op: the live call that logged it also raised without
+        changing state, so replayed and acknowledged state stay
+        identical.
         """
         kind, payload = op
-        if kind == "fit":
-            self.fit(payload)
-            return None
-        if kind == "insert":
-            return self.insert(payload)
-        if kind == "delete":
-            try:
-                self.delete(int(payload))
-            except KeyError:
-                pass
-            return None
-        raise ValueError(f"unknown op kind {kind!r}")
+        prev = self._replaying
+        self._replaying = True
+        try:
+            if kind == "fit":
+                self.fit(payload)
+                return None
+            if kind == "insert":
+                return self.insert(payload)
+            if kind == "delete":
+                try:
+                    self.delete(int(payload))
+                except KeyError:
+                    pass
+                return None
+            if kind == "seal":
+                # payload (store size at the seal point) is advisory —
+                # replay position already determines the memtable.
+                self.flush()
+                return None
+            if kind == "compact":
+                j, dropped = payload
+                self._apply_compact_record(
+                    int(j), [int(h) for h in dropped]
+                )
+                return None
+            raise ValueError(f"unknown op kind {kind!r}")
+        finally:
+            self._replaying = prev
+
+    def _apply_compact_record(self, j: int, dropped: List[int]) -> None:
+        """Replay one logged compaction: merge the first ``j`` segments,
+        excluding exactly the handles the original merge dropped."""
+        state = self._state
+        if not 0 < j <= len(state.segments):
+            raise ValueError(
+                f"compact record merges {j} segments, index has "
+                f"{len(state.segments)}"
+            )
+        result = merge_segments(
+            state.segments[:j], set(dropped), self._build_segment
+        )
+        self._commit_compaction(result, log=False)
 
     def get_vector(self, handle: int) -> np.ndarray:
-        """The vector behind a handle (copies; raises KeyError if unknown)."""
+        """The vector behind a *live* handle (copies; raises KeyError
+        for unknown or deleted handles, matching ``delete``'s rules)."""
         if self._vectors is None or not 0 <= handle < len(self._vectors):
             raise KeyError(f"unknown handle {handle}")
+        state = self._state
+        if handle in state.dead:
+            raise KeyError(f"handle {handle} is deleted")
+        if handle not in state.buffer_set and not any(
+            seg.contains(handle) for seg in state.segments
+        ):
+            raise KeyError(f"handle {handle} is deleted")
         return self._vectors[handle].copy()

@@ -1,0 +1,186 @@
+"""Sealed CSA segments and the background merge-compaction machinery.
+
+The LSM-tiered :class:`repro.core.dynamic.DynamicLCCSLSH` is built from
+three kinds of state: a small writable *memtable* (the pending insert
+buffer), a stack of **sealed immutable segments** — each a static
+LCCS-LSH index over a frozen, sorted slice of stable handles — and a
+tombstone set masking deleted points.  This module holds the parts of
+that design that are independent of the dynamic wrapper itself:
+
+* :class:`Segment` — an immutable ``(inner CSA, handle translation)``
+  pair.  Segments are never mutated after construction; compaction
+  replaces them wholesale, which is what makes the epoch-publish
+  concurrency story (and mmap sharing of exported segments) work.
+* :func:`merge_segments` — the pure merge step: gather the handles of
+  the input segments, drop the ones in a tombstone snapshot, and build
+  one merged segment.  It records exactly which handles were dropped so
+  the merge can be replayed deterministically from a WAL ``compact``
+  record even if more deletes raced in after the build started.
+* :class:`CompactionManager` — a one-slot background worker.  At most
+  one merge build is in flight (or finished-but-uncommitted) at a time;
+  the *caller* commits results on its own write path, so the background
+  thread never touches live index state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Segment", "CompactionResult", "CompactionManager", "merge_segments"]
+
+
+class Segment:
+    """One sealed, immutable tier: a static CSA plus handle translation.
+
+    ``inner`` is a fitted index whose positions ``0..n-1`` correspond to
+    ``handles[0..n-1]`` (sorted ascending, so position order equals
+    handle order and per-segment ``(distance, position)`` ranking equals
+    ``(distance, handle)`` ranking).  Neither field is ever mutated.
+    """
+
+    __slots__ = ("inner", "handles")
+
+    def __init__(self, inner, handles: np.ndarray):
+        self.inner = inner
+        self.handles = np.asarray(handles, dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        return len(self.handles)
+
+    def contains(self, handle: int) -> bool:
+        """Membership by binary search (handles are sorted)."""
+        pos = int(np.searchsorted(self.handles, handle))
+        return pos < len(self.handles) and int(self.handles[pos]) == handle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment(n={self.n})"
+
+
+class CompactionResult:
+    """Output of one merge build, held until the caller commits it.
+
+    ``inputs`` are the exact segment objects the build consumed — the
+    commit step validates them by identity against the head of the live
+    segment stack (seals only append, so a still-valid build always
+    matches a prefix).  ``dropped`` lists the tombstoned handles the
+    merge excluded, in sorted order; a WAL ``compact`` record carries it
+    so replay reproduces this merge byte-exactly regardless of deletes
+    that happened after the build was scheduled.
+    """
+
+    __slots__ = ("inputs", "segment", "dropped")
+
+    def __init__(
+        self,
+        inputs: Tuple[Segment, ...],
+        segment: Optional[Segment],
+        dropped: List[int],
+    ):
+        self.inputs = inputs
+        self.segment = segment
+        self.dropped = dropped
+
+
+def merge_segments(
+    segments: Sequence[Segment],
+    dead: set,
+    build: Callable[[np.ndarray], Segment],
+) -> CompactionResult:
+    """Merge ``segments`` into one, dropping handles present in ``dead``.
+
+    Pure with respect to the inputs: the same segments + the same dead
+    snapshot produce the same merged handle slice, and ``build`` (which
+    fits a fresh CSA over those rows) is deterministic given the index
+    seed.  Returns ``segment=None`` when every row was tombstoned.
+    """
+    parts = [seg.handles for seg in segments]
+    allh = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    dropped: List[int] = []
+    if dead and len(allh):
+        dead_arr = np.fromiter(dead, dtype=np.int64, count=len(dead))
+        mask = np.isin(allh, dead_arr)
+        dropped = sorted(int(h) for h in allh[mask])
+        allh = allh[~mask]
+    allh = np.sort(allh)
+    segment = build(allh) if len(allh) else None
+    return CompactionResult(tuple(segments), segment, dropped)
+
+
+class CompactionManager:
+    """One-slot background build executor.
+
+    ``schedule(job)`` starts ``job`` on a daemon thread unless a build
+    is already in flight or waiting to be committed.  ``take_ready()``
+    returns the finished result exactly once (or re-raises the build's
+    exception); until it is taken, ``busy`` stays true so no second
+    build piles up.  The manager never mutates index state — commits
+    happen on the caller's write path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._result: Optional[CompactionResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def busy(self) -> bool:
+        """A build is running or finished-but-uncommitted."""
+        with self._lock:
+            return self._thread is not None
+
+    def schedule(self, job: Callable[[], CompactionResult]) -> bool:
+        with self._lock:
+            if self._thread is not None:
+                return False
+            thread = threading.Thread(
+                target=self._run, args=(job,), name="lccs-compaction", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+        return True
+
+    def _run(self, job: Callable[[], CompactionResult]) -> None:
+        result: Optional[CompactionResult] = None
+        error: Optional[BaseException] = None
+        try:
+            result = job()
+        except BaseException as exc:  # surfaced at take_ready()
+            error = exc
+        with self._lock:
+            self._result = result
+            self._error = error
+
+    def take_ready(self) -> Optional[CompactionResult]:
+        """Pop the finished build, if any (non-blocking).
+
+        Returns None while the build is still running (or none exists);
+        re-raises the job's exception if it failed.
+        """
+        with self._lock:
+            thread = self._thread
+            if thread is None or thread.is_alive():
+                return None
+            self._thread = None
+            result, self._result = self._result, None
+            error, self._error = self._error, None
+        thread.join()
+        if error is not None:
+            raise error
+        return result
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until the in-flight build (if any) finishes."""
+        with self._lock:
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompactionManager(busy={self.busy})"

@@ -132,11 +132,20 @@ class Replica:
             )
 
     def stats(self) -> Dict[str, float]:
-        return {
+        out = {
             "applied_seq": float(self.applied_seq),
             "reads": float(self.reads),
             "catch_ups": float(self.catch_ups),
         }
+        # Tier shape confirms replayed seal/compact records landed: a
+        # replica's segment count tracks the primary's exactly.
+        tier = getattr(self.index, "tier_stats", None)
+        if callable(tier):
+            shape = tier()
+            out["segments"] = float(shape.get("segments", 0))
+            out["memtable"] = float(shape.get("memtable", 0))
+            out["compactions"] = float(shape.get("compactions", 0))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

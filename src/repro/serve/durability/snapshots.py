@@ -170,7 +170,15 @@ class SnapshotManager:
         tmp = os.path.join(root, f".tmp-{seq:012d}")
         if os.path.exists(tmp):
             shutil.rmtree(tmp)
-        save_index(index, tmp, extra={"wal_seq": int(seq)})
+        extra: dict = {"wal_seq": int(seq)}
+        # Record the LSM tier shape alongside the position — cheap
+        # provenance for `inspect` when debugging compaction histories.
+        tier = getattr(index, "tier_stats", None)
+        if callable(tier):
+            shape = tier()
+            extra["tier_segments"] = int(shape.get("segments", 0))
+            extra["tier_memtable"] = int(shape.get("memtable", 0))
+        save_index(index, tmp, extra=extra)
         if os.path.exists(final):  # re-snapshot at the same seq: replace
             shutil.rmtree(final)
         os.rename(tmp, final)

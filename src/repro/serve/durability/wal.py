@@ -96,7 +96,18 @@ PAYLOAD = struct.Struct("<BQ")
 OP_FIT = 1
 OP_INSERT = 2
 OP_DELETE = 3
-_OP_NAMES = {OP_FIT: "fit", OP_INSERT: "insert", OP_DELETE: "delete"}
+#: structural ops from the LSM-tiered dynamic index — a memtable seal
+#: and a segment merge-compaction.  Logged *before* the epoch swap so
+#: recovery and log-tailing replicas replay the exact same tier shape.
+OP_SEAL = 4
+OP_COMPACT = 5
+_OP_NAMES = {
+    OP_FIT: "fit",
+    OP_INSERT: "insert",
+    OP_DELETE: "delete",
+    OP_SEAL: "seal",
+    OP_COMPACT: "compact",
+}
 _OP_CODES = {name: code for code, name in _OP_NAMES.items()}
 
 SEGMENT_PREFIX = "wal-"
@@ -114,9 +125,12 @@ class WALError(RuntimeError):
 class Op(NamedTuple):
     """One replayable mutation record.
 
-    ``kind`` is ``"fit"`` / ``"insert"`` / ``"delete"``; ``payload`` is
-    the ``(n, dim)`` data matrix, the ``(dim,)`` vector, or the integer
-    handle respectively.
+    ``kind`` is ``"fit"`` / ``"insert"`` / ``"delete"`` — payload: the
+    ``(n, dim)`` data matrix, the ``(dim,)`` vector, or the integer
+    handle — or a structural op from the LSM index: ``"seal"`` (payload:
+    the store size at the seal point, advisory) / ``"compact"``
+    (payload: ``(j, dropped)``, the number of head segments merged and
+    the sorted tombstoned handles the merge excluded).
     """
 
     kind: str
@@ -133,6 +147,14 @@ class Op(NamedTuple):
     @classmethod
     def delete(cls, handle: int) -> "Op":
         return cls("delete", int(handle))
+
+    @classmethod
+    def seal(cls, boundary: int) -> "Op":
+        return cls("seal", int(boundary))
+
+    @classmethod
+    def compact(cls, j: int, dropped) -> "Op":
+        return cls("compact", (int(j), [int(h) for h in dropped]))
 
 
 # ----------------------------------------------------------------------
@@ -154,8 +176,16 @@ def encode_record(op: Op, seq: int) -> bytes:
         if vec.ndim != 1:
             raise ValueError("insert payload must be a 1-d vector")
         body = struct.pack("<I", vec.shape[0]) + vec.tobytes()
-    else:  # OP_DELETE
+    elif code == OP_DELETE:
         body = struct.pack("<q", int(op.payload))
+    elif code == OP_SEAL:
+        body = struct.pack("<Q", int(op.payload))
+    else:  # OP_COMPACT
+        j, dropped = op.payload
+        handles = np.ascontiguousarray(dropped, dtype=np.int64)
+        if handles.ndim != 1:
+            raise ValueError("compact dropped-handles must be a flat list")
+        body = struct.pack("<IQ", int(j), len(handles)) + handles.tobytes()
     payload = PAYLOAD.pack(code, seq) + body
     return RECORD.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -188,6 +218,20 @@ def decode_payload(payload: bytes) -> Tuple[int, Op]:
             raise WALError("malformed delete record")
         (handle,) = struct.unpack("<q", body)
         return seq, Op("delete", int(handle))
+    if code == OP_SEAL:
+        if len(body) != 8:
+            raise WALError("malformed seal record")
+        (boundary,) = struct.unpack("<Q", body)
+        return seq, Op("seal", int(boundary))
+    if code == OP_COMPACT:
+        if len(body) < 12:
+            raise WALError("truncated compact record")
+        j, count = struct.unpack_from("<IQ", body)
+        raw = body[12:]
+        if len(raw) != count * 8:
+            raise WALError("compact record length contradicts its count")
+        dropped = np.frombuffer(raw, dtype=np.int64)
+        return seq, Op("compact", (int(j), [int(h) for h in dropped]))
     raise WALError(f"unknown opcode {code}")
 
 
@@ -634,6 +678,13 @@ def apply_op(index, op: Op) -> Optional[int]:
         except KeyError:
             pass
         return None
+    if op.kind in ("seal", "compact"):
+        # Structural LSM ops are only written by indexes exposing the
+        # apply_op hook; an index without it cannot replay them.
+        raise WALError(
+            f"{type(index).__name__} cannot replay structural "
+            f"{op.kind!r} records (no apply_op hook)"
+        )
     raise WALError(f"unknown op kind {op.kind!r}")
 
 
@@ -713,6 +764,14 @@ class DurableIndex(ANNIndex):
             segment_bytes=segment_bytes,
         )
         self.snapshots = snapshots
+        # LSM-tiered indexes announce seals/compactions through a
+        # structural listener; registering it routes those epoch swaps
+        # through the log *before* they are published (log-then-apply),
+        # keeping recovery and WAL-tailing replicas byte-exact across
+        # background compactions.
+        register = getattr(index, "set_structural_listener", None)
+        if register is not None:
+            register(self._log_structural)
         if spec is not None:
             self._write_config(spec)
         if snapshots is not None and snapshots.latest_seq is not None:
@@ -833,6 +892,55 @@ class DurableIndex(ANNIndex):
         self.wal.append(Op.delete(handle))
         try:
             self.inner.delete(handle)
+        finally:
+            self._notify()
+
+    def _log_structural(self, kind: str, payload) -> None:
+        """Structural-listener callback: append seal/compact records.
+
+        Invoked by the wrapped index on its own write path, immediately
+        *before* the corresponding epoch swap, so the WAL ordering
+        matches the in-memory ordering exactly.
+        """
+        if kind == "seal":
+            self.wal.append(Op.seal(int(payload)))
+        elif kind == "compact":
+            j, dropped = payload
+            self.wal.append(Op.compact(j, dropped))
+        else:  # pragma: no cover - future-proofing
+            raise WALError(f"unknown structural op {kind!r}")
+
+    def flush(self) -> bool:
+        """Seal the wrapped index's memtable (logged via the listener)."""
+        flush = getattr(self.inner, "flush", None)
+        if flush is None:
+            raise TypeError(
+                f"{type(self.inner).__name__} does not support flush"
+            )
+        try:
+            return bool(flush())
+        finally:
+            self._notify()
+
+    def compact(self) -> bool:
+        """Merge the wrapped index's segments (logged via the listener)."""
+        compact = getattr(self.inner, "compact", None)
+        if compact is None:
+            raise TypeError(
+                f"{type(self.inner).__name__} does not support compact"
+            )
+        try:
+            return bool(compact())
+        finally:
+            self._notify()
+
+    def drain_compaction(self, timeout=None) -> bool:
+        """Wait for and commit an in-flight background compaction."""
+        drain = getattr(self.inner, "drain_compaction", None)
+        if drain is None:
+            return False
+        try:
+            return bool(drain(timeout))
         finally:
             self._notify()
 

@@ -74,18 +74,29 @@ class LatencyHistogram:
         return self._n
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold ``other``'s samples into this histogram (for fan-in)."""
-        with other._lock:
-            counts = list(other._counts)
-            n, total = other._n, other._sum
-            lo, hi = other._min, other._max
-        with self._lock:
-            for i, c in enumerate(counts):
-                self._counts[i] += c
-            self._n += n
-            self._sum += total
-            self._min = min(self._min, lo)
-            self._max = max(self._max, hi)
+        """Fold ``other``'s samples into this histogram (for fan-in).
+
+        Both locks are taken in a deterministic global order (by object
+        id), so two histograms concurrently merged into each other from
+        two threads cannot deadlock on the crossed acquisition.
+        """
+        if other is self:
+            with self._lock:
+                self._counts = [2 * c for c in self._counts]
+                self._n *= 2
+                self._sum *= 2.0
+            return
+        first, second = (
+            (self, other) if id(self) < id(other) else (other, self)
+        )
+        with first._lock:
+            with second._lock:
+                for i, c in enumerate(other._counts):
+                    self._counts[i] += c
+                self._n += other._n
+                self._sum += other._sum
+                self._min = min(self._min, other._min)
+                self._max = max(self._max, other._max)
 
     def percentile(self, p: float) -> Optional[float]:
         """The ``p``-th percentile latency in seconds (None if empty).

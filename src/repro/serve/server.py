@@ -438,6 +438,9 @@ class PrimaryBackend:
         stats.update(
             {f"wal_{k}": v for k, v in self._durable.wal_stats().items()}
         )
+        tier = getattr(self._durable.inner, "tier_stats", None)
+        if callable(tier):
+            stats.update({f"tier_{k}": v for k, v in tier().items()})
         return {"stats": stats}
 
     async def aclose(self) -> None:

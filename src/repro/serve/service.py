@@ -159,6 +159,12 @@ class ANNService:
             )
         if k <= 0:
             raise ValueError("k must be positive")
+        # Closed-service behavior must be uniform: check before the
+        # cache probe, or a closed service would still answer whatever
+        # happened to be cached while raising on everything else.
+        with self._cond:
+            if self._stop:
+                raise RuntimeError("ANNService is closed")
         fut: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
         if self._cache is not None:
             hit = self._cache.get(query_key(q, k, self._ci.version, kwargs))
@@ -257,13 +263,19 @@ class ANNService:
             out["batched_queries"] = batched
             out["largest_batch"] = self._largest_batch
         out["avg_batch_size"] = batched / batches if batches else 0.0
-        # Surface the kernel backend of the underlying index (walk the
-        # wrapper chain: ConcurrentIndex -> DurableIndex -> index).
+        # Surface the kernel backend and LSM tier shape of the
+        # underlying index (walk the wrapper chain:
+        # ConcurrentIndex -> DurableIndex -> index).
         inner = self._ci.inner
         for _ in range(4):
             backend = getattr(inner, "kernel_backend", None)
             if backend is not None:
                 out["kernel_backend"] = backend
+                tier = getattr(inner, "tier_stats", None)
+                if callable(tier):
+                    out.update(
+                        {f"tier_{key}": val for key, val in tier().items()}
+                    )
                 break
             nxt = getattr(inner, "inner", None)
             if nxt is None:
