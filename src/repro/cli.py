@@ -24,6 +24,12 @@ Subcommands:
   log-shipping replicas instead of the primary.
 * ``recover`` — rebuild the acknowledged index state from a WAL
   directory (snapshot + log replay) and optionally save it as a bundle.
+* ``stats`` — scrape a running ``serve --tcp`` server: stats JSON, a
+  ``--watch`` ticker line, or ``--prometheus`` text (merged across
+  prefork workers).
+* ``trace`` — fetch sampled span trees (``serve --trace-sample N``)
+  or the slow-query log from a running server and render them as
+  ASCII trees.
 * ``theory`` — collision probabilities and Theorem 5.1's lambda for a
   parameter setting.
 * ``compare``/``build``/``query``/``serve``/``profile`` accept
@@ -46,6 +52,10 @@ Examples::
     python -m repro.cli serve sift.bundle \\
         --wal-dir sift.wal --snapshot-every 500 --replicas 2
     python -m repro.cli recover sift.wal --out recovered.bundle
+    python -m repro.cli serve sift.bundle --tcp :9300 --workers 4 \\
+        --wal-dir sift.wal --trace-sample 100 --slow-ms 50
+    python -m repro.cli stats 127.0.0.1:9300 --watch
+    python -m repro.cli trace 127.0.0.1:9300 -n 5
     python -m repro.cli theory --m 64 --n 100000 --p1 0.9 --p2 0.5
 """
 
@@ -375,6 +385,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     * ``{"insert": [..]}`` -> ``{"handle": h, "version": v}``
     * ``{"delete": h}`` -> ``{"deleted": h, "version": v}``
     * ``{"stats": true}`` -> ``{"stats": {..}}``
+    * ``{"trace": n}`` -> the ``n`` most recent sampled span trees
+      plus the slow-query log (``--trace-sample`` / ``--slow-ms``)
+    * ``{"metrics": true | "prometheus"}`` -> this process's metric
+      families as a snapshot tree or Prometheus text
 
     Queries are issued by ``--threads`` concurrent client workers, so
     adjacent query requests coalesce into micro-batches inside the
@@ -411,8 +425,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import queue
     import threading
+    import time
     from concurrent.futures import ThreadPoolExecutor
 
+    from repro.obs.export import render_prometheus
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracing import get_tracer
     from repro.serve import BundleError, load_index, read_manifest
     from repro.serve.durability import (
         DurableIndex,
@@ -483,6 +501,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     default_kwargs = dict(manifest.get("extra", {}).get("query_kwargs", {}))
+    tracer = get_tracer()
+    tracer.configure(
+        sample=args.trace_sample, slow_threshold_s=args.slow_ms / 1e3
+    )
     try:
         source = open(args.requests) if args.requests else sys.stdin
     except OSError as exc:
@@ -491,6 +513,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     emitted = 0
 
     def run_query(payload: dict) -> dict:
+        trace = tracer.start_trace("query", op="query")
+        start = time.perf_counter()
+        error = False
         try:
             q = np.asarray(payload.pop("query"), dtype=np.float64)
             k = int(payload.pop("k", args.k))
@@ -503,10 +528,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     **kwargs,
                 )
             else:
-                ids, dists = service.query(q, k=k, **kwargs)
+                ids, dists = service.query(q, k=k, trace=trace, **kwargs)
             return {"ids": ids.tolist(), "dists": dists.tolist()}
         except Exception as exc:  # keep serving after a bad request
+            error = True
             return {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            elapsed = time.perf_counter() - start
+            if trace is not None:
+                trace.root.annotate(error=error)
+                trace.finish()
+            tracer.observe_request("query", elapsed, trace=trace, error=error)
 
     with ANNService(
         index,
@@ -591,13 +623,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 try:
                     if "insert" in request:
                         vector = np.asarray(request["insert"], dtype=np.float64)
-                        handle = service.insert(vector)
+                        wtrace = tracer.start_trace("insert", op="insert")
+                        wstart = time.perf_counter()
+                        handle = service.insert(vector, trace=wtrace)
+                        if wtrace is not None:
+                            wtrace.finish()
+                        tracer.observe_request(
+                            "insert", time.perf_counter() - wstart,
+                            trace=wtrace,
+                        )
                         response = {"handle": handle,
                                     "version": service.version}
                         if args.wal_dir:
                             response["seq"] = index.applied_seq
                     elif "delete" in request:
-                        service.delete(int(request["delete"]))
+                        wtrace = tracer.start_trace("delete", op="delete")
+                        wstart = time.perf_counter()
+                        service.delete(int(request["delete"]), trace=wtrace)
+                        if wtrace is not None:
+                            wtrace.finish()
+                        tracer.observe_request(
+                            "delete", time.perf_counter() - wstart,
+                            trace=wtrace,
+                        )
                         response = {"deleted": int(request["delete"]),
                                     "version": service.version}
                         if args.wal_dir:
@@ -606,11 +654,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         stats = service.stats()
                         if replica_set is not None:
                             stats.update(replica_set.stats())
+                        stats["tracer"] = tracer.stats()
                         response = {"stats": stats}
+                    elif "trace" in request:
+                        want = request["trace"]
+                        n = (
+                            int(want)
+                            if isinstance(want, (int, float))
+                            and not isinstance(want, bool) and want > 0
+                            else 20
+                        )
+                        response = {
+                            "traces": tracer.recent(n),
+                            "slow": tracer.slow_log(n),
+                            "tracer": tracer.stats(),
+                        }
+                    elif "metrics" in request:
+                        snap = get_registry().snapshot()
+                        if request["metrics"] == "prometheus":
+                            response = {
+                                "prometheus": render_prometheus(snap)
+                            }
+                        else:
+                            response = {"metrics": snap}
                     else:
                         response = {
                             "error": "unknown request (want query/insert/"
-                            "delete/stats)"
+                            "delete/stats/trace/metrics)"
                         }
                 except Exception as exc:
                     response = {"error": f"{type(exc).__name__}: {exc}"}
@@ -629,6 +699,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"WAL at {args.wal_dir}: seq={index.applied_seq}",
             file=sys.stderr,
         )
+    if args.slow_log:
+        try:
+            n = tracer.dump_slow_log(args.slow_log)
+            print(
+                f"slow-query log: {n} entries -> {args.slow_log}",
+                file=sys.stderr,
+            )
+        except OSError as exc:
+            print(f"slow-query log dump failed: {exc}", file=sys.stderr)
     print(f"served {emitted} responses", file=sys.stderr)
     return 0
 
@@ -683,12 +762,148 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
         snapshot_keep=args.snapshot_keep,
         replicas=args.replicas,
         tail_interval_ms=args.tail_interval_ms,
+        trace_sample=args.trace_sample,
+        slow_ms=args.slow_ms,
+        slow_log_path=args.slow_log,
+        obs_dir=args.obs_dir,
     )
     try:
         return run_server(config)
     except (BundleError, RecoveryError) as exc:
         print(f"cannot serve: {exc}", file=sys.stderr)
         return 2
+
+
+def _stats_line(stats: dict) -> str:
+    """One compact human line from a ``stats`` response dict."""
+    server = stats.get("server") or {}
+    q = (server.get("ops") or {}).get("query") or {}
+    parts = [
+        f"req={server.get('requests_total', 0)}",
+        f"err={server.get('errors_total', 0)}",
+        f"shed={server.get('shed_total', 0)}",
+    ]
+    for key, label in (("p50_ms", "p50"), ("p95_ms", "p95"), ("p99_ms", "p99")):
+        val = q.get(key)
+        if val is not None:
+            parts.append(f"query_{label}={val:.2f}ms")
+    ratio = stats.get("cache_hit_ratio")
+    if ratio is not None:
+        parts.append(f"cache_hit={ratio:.2f}")
+    version = stats.get("version")
+    if version is not None:
+        parts.append(f"version={version}")
+    tracer = stats.get("tracer") or server.get("tracer") or {}
+    if tracer.get("sample"):
+        parts.append(
+            f"traced={int(tracer.get('sampled_total', 0))}"
+            f" slow={int(tracer.get('slow_total', 0))}"
+        )
+    return "  ".join(parts)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape a running ``serve --tcp`` server: stats or Prometheus text."""
+    import json
+    import time
+
+    from repro.serve.client import ServeClient
+
+    try:
+        host, port = _parse_hostport(args.addr)
+    except ValueError:
+        print(f"ADDR wants HOST:PORT, got {args.addr!r}", file=sys.stderr)
+        return 2
+
+    def scrape(client: "ServeClient") -> int:
+        if args.prometheus:
+            response = client.request({"metrics": "prometheus"})
+            if "error" in response:
+                print(f"server error: {response['error']}", file=sys.stderr)
+                return 1
+            print(response["prometheus"], end="")
+            return 0
+        response = client.request({"stats": True})
+        if "error" in response:
+            print(f"server error: {response['error']}", file=sys.stderr)
+            return 1
+        stats = response["stats"]
+        if args.watch:
+            print(_stats_line(stats), flush=True)
+        else:
+            print(json.dumps(stats, indent=2, sort_keys=True, default=str))
+        return 0
+
+    try:
+        with ServeClient(host, port) as client:
+            if not args.watch:
+                return scrape(client)
+            while True:
+                rc = scrape(client)
+                if rc:
+                    return rc
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch and render recent traces / the slow log from a server."""
+    from repro.obs.tracing import render_trace
+    from repro.serve.client import ServeClient
+
+    try:
+        host, port = _parse_hostport(args.addr)
+    except ValueError:
+        print(f"ADDR wants HOST:PORT, got {args.addr!r}", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(host, port) as client:
+            response = client.request({"trace": args.n})
+    except OSError as exc:
+        print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    if "error" in response:
+        print(f"server error: {response['error']}", file=sys.stderr)
+        return 1
+    tstats = response.get("tracer", {})
+    print(
+        f"tracer: sample=1/{int(tstats.get('sample', 0)) or 'off'} "
+        f"sampled={int(tstats.get('sampled_total', 0))} "
+        f"slow={int(tstats.get('slow_total', 0))} "
+        f"(threshold {float(tstats.get('slow_threshold_s', 0)) * 1e3:.0f} ms)",
+        file=sys.stderr,
+    )
+    if args.slow:
+        entries = response.get("slow", [])
+        if not entries:
+            print("slow-query log is empty", file=sys.stderr)
+            return 0
+        for entry in entries:
+            line = (
+                f"{entry['op']}: {entry['duration_s'] * 1e3:.3f} ms "
+                f"error={entry.get('error', False)}"
+            )
+            print(line)
+            if "trace" in entry:
+                print(render_trace(entry["trace"]))
+            print()
+        return 0
+    traces = response.get("traces", [])
+    if not traces:
+        print(
+            "no sampled traces retained (is the server running with "
+            "--trace-sample > 0?)",
+            file=sys.stderr,
+        )
+        return 0
+    for payload in traces:
+        print(render_trace(payload))
+        print()
+    return 0
 
 
 def _fmt_bytes(n: int) -> str:
@@ -1090,8 +1305,66 @@ def build_parser() -> argparse.ArgumentParser:
         "recovered snapshot, and replica bootstraps) opens without "
         "copying arrays into RAM",
     )
+    p.add_argument(
+        "--trace-sample", type=int, default=0, metavar="N",
+        help="record a full span tree for 1 in N requests (0 disables "
+        "tracing, 1 traces everything); retrieve them with the "
+        "{\"trace\": n} request or `repro trace ADDR`",
+    )
+    p.add_argument(
+        "--slow-ms", type=float, default=100.0,
+        help="requests at least this slow always enter the bounded "
+        "slow-query log, sampled or not",
+    )
+    p.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="dump the slow-query log as JSON lines here on shutdown",
+    )
+    p.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="shared directory for prefork metric-snapshot fan-in "
+        "(default: <wal-dir>/obs, else a temp dir; single-process "
+        "mode needs no spool)",
+    )
     _add_backend_arg(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="scrape a running serve --tcp server: stats JSON, a "
+        "--watch ticker, or --prometheus text",
+    )
+    p.add_argument("addr", metavar="ADDR", help="HOST:PORT of the server")
+    p.add_argument(
+        "--watch", action="store_true",
+        help="print one compact stats line every --interval seconds",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="--watch refresh period in seconds",
+    )
+    p.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition (merged across "
+        "prefork workers) instead of stats JSON",
+    )
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="fetch and render sampled span trees (or the slow-query "
+        "log) from a running serve --tcp server",
+    )
+    p.add_argument("addr", metavar="ADDR", help="HOST:PORT of the server")
+    p.add_argument(
+        "-n", type=int, default=10,
+        help="how many recent traces (or slow-log entries) to fetch",
+    )
+    p.add_argument(
+        "--slow", action="store_true",
+        help="show the slow-query log instead of recent sampled traces",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "recover",

@@ -46,6 +46,7 @@ write path, inside whatever lock the caller already holds.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -54,8 +55,28 @@ from repro.base import ANNIndex
 from repro.core.lccs_lsh import LCCSLSH
 from repro.core.segments import CompactionManager, Segment, merge_segments
 from repro.distances import pairwise, pairwise_rows
+from repro.obs.tracing import span as obs_span
 
 __all__ = ["DynamicLCCSLSH"]
+
+_COMPACT_HIST = None
+
+
+def _compact_hist():
+    """Lazy handle: structural-op duration histogram by kind.
+
+    Lazy so importing the core index never forces the registry module;
+    the handle is process-wide (the registry dedupes by name).
+    """
+    global _COMPACT_HIST
+    if _COMPACT_HIST is None:
+        from repro.obs.metrics import get_registry
+
+        _COMPACT_HIST = get_registry().histogram(
+            "repro_compaction_seconds",
+            "LSM structural-op duration by kind (seconds)",
+        )
+    return _COMPACT_HIST
 
 #: accepted compaction strategies (see :class:`DynamicLCCSLSH`)
 _COMPACTION_MODES = ("inline", "background", "rebuild")
@@ -159,6 +180,11 @@ class DynamicLCCSLSH(ANNIndex):
         self.compactions = 0
         #: background builds that died with an exception
         self.compaction_errors = 0
+        #: total write-path seconds spent in structural ops (seal /
+        #: inline compaction / rebuild) and the most recent one's cost —
+        #: the stall the LSM design exists to bound
+        self.compaction_time_s = 0.0
+        self.last_compaction_s = 0.0
         self._compactor = CompactionManager()
         #: structural-op listener — DurableIndex registers one so seals
         #: and compactions are logged *before* the epoch swap
@@ -219,6 +245,8 @@ class DynamicLCCSLSH(ANNIndex):
             "compaction_errors": int(self.compaction_errors),
             "rebuilds": int(self.rebuilds),
             "pending_compaction": self._compactor.busy,
+            "compaction_time_s": float(self.compaction_time_s),
+            "last_compaction_s": float(self.last_compaction_s),
         }
 
     def set_structural_listener(self, listener) -> None:
@@ -291,27 +319,31 @@ class DynamicLCCSLSH(ANNIndex):
         therefore still sees the complete pre-rebuild state — memtable
         included.
         """
-        old = self._state
-        parts = [seg.handles for seg in old.segments]
-        if old.buffer:
-            parts.append(np.asarray(old.buffer, dtype=np.int64))
-        live = (
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-        )
-        if old.dead and len(live):
-            dead_arr = np.fromiter(
-                old.dead, dtype=np.int64, count=len(old.dead)
+        t0 = time.perf_counter()
+        with obs_span("lsm.rebuild"):
+            old = self._state
+            parts = [seg.handles for seg in old.segments]
+            if old.buffer:
+                parts.append(np.asarray(old.buffer, dtype=np.int64))
+            live = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
             )
-            live = live[~np.isin(live, dead_arr)]
-        live = np.sort(live)
-        if len(live) == 0:
-            # Everything was deleted: no CSA to build; queries fall back
-            # to the (empty) memtable scan until the next insert.
-            segments: Tuple[Segment, ...] = ()
-        else:
-            segments = (self._build_segment(live),)
-        self._state = _DynState(segments, [], set(), set())
-        self.rebuilds += 1
+            if old.dead and len(live):
+                dead_arr = np.fromiter(
+                    old.dead, dtype=np.int64, count=len(old.dead)
+                )
+                live = live[~np.isin(live, dead_arr)]
+            live = np.sort(live)
+            if len(live) == 0:
+                # Everything was deleted: no CSA to build; queries fall
+                # back to the (empty) memtable scan until the next
+                # insert.
+                segments: Tuple[Segment, ...] = ()
+            else:
+                segments = (self._build_segment(live),)
+            self._state = _DynState(segments, [], set(), set())
+            self.rebuilds += 1
+        self._note_structural("rebuild", time.perf_counter() - t0)
 
     def _seal(self) -> None:
         """Freeze the memtable into one sealed segment (O(|memtable|)).
@@ -321,18 +353,21 @@ class DynamicLCCSLSH(ANNIndex):
         set shrinks accordingly (stale handles still raise in
         :meth:`delete` via the not-found path).
         """
-        old = self._state
-        live = sorted(h for h in old.buffer if h not in old.dead)
-        segments = old.segments
-        if live:
-            segments = segments + (
-                self._build_segment(np.asarray(live, dtype=np.int64)),
+        t0 = time.perf_counter()
+        with obs_span("lsm.seal"):
+            old = self._state
+            live = sorted(h for h in old.buffer if h not in old.dead)
+            segments = old.segments
+            if live:
+                segments = segments + (
+                    self._build_segment(np.asarray(live, dtype=np.int64)),
+                )
+            self._state = _DynState(
+                segments, [], set(), old.dead - old.buffer_set
             )
-        self._state = _DynState(
-            segments, [], set(), old.dead - old.buffer_set
-        )
-        self.rebuilds += 1
-        self.seals += 1
+            self.rebuilds += 1
+            self.seals += 1
+        self._note_structural("seal", time.perf_counter() - t0)
 
     def _commit_compaction(self, result, log: bool) -> None:
         """Swap a finished merge in: replace the first ``j`` segments.
@@ -356,10 +391,24 @@ class DynamicLCCSLSH(ANNIndex):
         self.rebuilds += 1
         self.compactions += 1
 
+    def _note_structural(self, kind: str, duration_s: float) -> None:
+        """Account one structural op's write-path cost (stats + metrics)."""
+        self.compaction_time_s += duration_s
+        self.last_compaction_s = duration_s
+        try:
+            _compact_hist().observe(duration_s, kind=kind)
+        except Exception:  # metrics must never break the write path
+            pass
+
     def _compact_now(self, log: bool) -> None:
-        state = self._state
-        result = merge_segments(state.segments, state.dead, self._build_segment)
-        self._commit_compaction(result, log=log)
+        t0 = time.perf_counter()
+        with obs_span("lsm.compact"):
+            state = self._state
+            result = merge_segments(
+                state.segments, state.dead, self._build_segment
+            )
+            self._commit_compaction(result, log=log)
+        self._note_structural("inline", time.perf_counter() - t0)
 
     def _schedule_compaction(self) -> bool:
         """Start a background merge of the current segment stack.
@@ -380,9 +429,21 @@ class DynamicLCCSLSH(ANNIndex):
         def build(handles: np.ndarray) -> Segment:
             return Segment(make_inner().fit(vectors[handles]), handles)
 
-        return self._compactor.schedule(
-            lambda: merge_segments(inputs, dead, build)
-        )
+        def job():
+            # Off the write path: only the histogram is touched (it is
+            # thread-safe); the instance stall counters stay write-path
+            # -only so they keep meaning "time writers actually waited".
+            t0 = time.perf_counter()
+            result = merge_segments(inputs, dead, build)
+            try:
+                _compact_hist().observe(
+                    time.perf_counter() - t0, kind="background"
+                )
+            except Exception:
+                pass
+            return result
+
+        return self._compactor.schedule(job)
 
     def _commit_ready(self) -> None:
         """Commit a finished background build, if still valid.

@@ -1,0 +1,48 @@
+"""repro.obs — unified observability plane for the serve stack.
+
+Three pieces, importable without pulling in any serving code (this
+package must stay import-cycle-free: ``repro.serve`` imports us, never
+the reverse):
+
+* :mod:`repro.obs.tracing` — per-request span trees with 1-in-N
+  sampling, explicit cross-thread propagation tokens, an always-on
+  bounded slow-query log, and ``on_span``/``on_trace`` recorder hooks.
+* :mod:`repro.obs.metrics` — log-bucketed latency histograms, per-op
+  server metrics, and a process-wide named-metric registry every layer
+  (server, service, cache, index, LSM tiers, WAL, replicas) publishes
+  into.
+* :mod:`repro.obs.export` — Prometheus text rendering, cross-process
+  snapshot merging, and the file spool prefork workers use to fan
+  their snapshots in.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    LatencyHistogram,
+    MetricsRegistry,
+    ServerMetrics,
+    get_registry,
+)
+from .export import SnapshotSpool, merge_snapshots, render_prometheus
+from .tracing import Span, Trace, Tracer, get_tracer, render_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServerMetrics",
+    "get_registry",
+    "SnapshotSpool",
+    "merge_snapshots",
+    "render_prometheus",
+    "Span",
+    "Trace",
+    "Tracer",
+    "get_tracer",
+    "render_trace",
+    "span",
+]

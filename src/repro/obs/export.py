@@ -1,0 +1,253 @@
+"""Snapshot export: Prometheus text, cross-process merge, worker spool.
+
+A registry snapshot (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+is a JSON-safe tree of metric families.  This module turns those trees
+into things operators consume:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+  samples for histograms).
+* :func:`merge_snapshots` — fold per-process snapshots into one:
+  counters and histogram buckets sum, gauges combine by their declared
+  merge mode (``sum`` / ``max`` / ``last``).  Histograms merge as raw
+  bucket arrays — percentiles do not compose, bucket counts do.
+* :class:`SnapshotSpool` — the prefork fan-in mechanism.  Every worker
+  periodically dumps its snapshot to ``obs-<pid>.json`` in a shared
+  directory (atomic tmp+rename); whichever worker receives a
+  ``metrics`` request reads all peers' files and serves the merged
+  view.  File-based on purpose: workers share no memory, the spool
+  directory already exists for the WAL, and a scrape tolerates a
+  snapshot a second old.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from .metrics import bucket_upper_bounds
+
+__all__ = [
+    "render_prometheus",
+    "merge_snapshots",
+    "SnapshotSpool",
+]
+
+_SANITIZE = str.maketrans({c: "_" for c in " .-/"})
+
+
+def _metric_name(name: str) -> str:
+    return name.translate(_SANITIZE)
+
+
+def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
+    items = dict(labels or {})
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{str(v)}"' for k, v in sorted(items.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one snapshot tree as Prometheus text exposition.
+
+    Counters render with their name as-is (the registry already uses
+    ``_total`` suffixes), gauges as single samples, histograms as
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    uppers = bucket_upper_bounds()
+    lines: List[str] = []
+    families = snapshot.get("families", {})
+    for name in sorted(families):
+        family = families[name]
+        kind = family.get("kind", "gauge")
+        metric = _metric_name(name)
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {metric} {help_text}")
+        lines.append(
+            f"# TYPE {metric} "
+            f"{'histogram' if kind == 'histogram' else kind}"
+        )
+        for sample in family.get("samples", []):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for upper, count in zip(uppers, sample.get("buckets", [])):
+                    cumulative += int(count)
+                    lines.append(
+                        f"{metric}_bucket"
+                        f"{_label_str(labels, {'le': _fmt(upper)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{metric}_bucket{_label_str(labels, {'le': '+Inf'})}"
+                    f" {int(sample.get('count', cumulative))}"
+                )
+                lines.append(
+                    f"{metric}_sum{_label_str(labels)}"
+                    f" {_fmt(sample.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{metric}_count{_label_str(labels)}"
+                    f" {int(sample.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{metric}{_label_str(labels)}"
+                    f" {_fmt(sample.get('value', 0.0))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _merge_histogram_samples(into: dict, sample: dict) -> None:
+    buckets = into.setdefault("buckets", [])
+    other = sample.get("buckets", [])
+    if len(buckets) < len(other):
+        buckets.extend([0] * (len(other) - len(buckets)))
+    for i, c in enumerate(other):
+        buckets[i] += int(c)
+    into["count"] = int(into.get("count", 0)) + int(sample.get("count", 0))
+    into["sum"] = float(into.get("sum", 0.0)) + float(sample.get("sum", 0.0))
+    for key, pick in (("min", min), ("max", max)):
+        val = sample.get(key)
+        if val is None:
+            continue
+        cur = into.get(key)
+        into[key] = val if cur is None else pick(cur, val)
+
+
+def merge_snapshots(snapshots: List[dict]) -> dict:
+    """Fold per-process snapshot trees into one combined tree.
+
+    Counters and histogram states are additive.  Gauges follow the
+    family's declared ``merge`` mode: ``sum`` (default — sizes and
+    totals add across workers), ``max`` (high-water marks like applied
+    WAL sequence), or ``last`` (config echoes, identical everywhere).
+    """
+    merged_families: Dict[str, dict] = {}
+    pids: List[int] = []
+    for snap in snapshots:
+        if not snap:
+            continue
+        if snap.get("pid") is not None:
+            pids.append(snap["pid"])
+        for name, family in snap.get("families", {}).items():
+            out = merged_families.get(name)
+            if out is None:
+                out = merged_families[name] = {
+                    "kind": family.get("kind", "gauge"),
+                    "help": family.get("help", ""),
+                    "samples": {},
+                }
+                if "merge" in family:
+                    out["merge"] = family["merge"]
+            kind = out["kind"]
+            mode = out.get("merge", "sum")
+            for sample in family.get("samples", []):
+                key = tuple(sorted((sample.get("labels") or {}).items()))
+                slot = out["samples"].get(key)
+                if kind == "histogram":
+                    if slot is None:
+                        slot = out["samples"][key] = {
+                            "labels": dict(key),
+                            "buckets": [], "count": 0, "sum": 0.0,
+                            "min": None, "max": None,
+                        }
+                    _merge_histogram_samples(slot, sample)
+                else:
+                    value = float(sample.get("value", 0.0))
+                    if slot is None:
+                        out["samples"][key] = {
+                            "labels": dict(key), "value": value,
+                        }
+                    elif kind == "counter" or mode == "sum":
+                        slot["value"] += value
+                    elif mode == "max":
+                        slot["value"] = max(slot["value"], value)
+                    else:  # "last"
+                        slot["value"] = value
+    families = {
+        name: {**fam, "samples": list(fam["samples"].values())}
+        for name, fam in merged_families.items()
+    }
+    return {"pids": sorted(pids), "families": families}
+
+
+class SnapshotSpool:
+    """Shared-directory snapshot exchange between prefork workers.
+
+    Each process calls :meth:`dump` (typically on a ~1 s timer and
+    right before serving a scrape); any process calls :meth:`read_all`
+    to collect every peer's latest snapshot.  Writes are atomic
+    (``.tmp`` + ``os.replace``) so readers never see a torn file, and
+    stale files (dead workers) age out via ``max_age_s``.
+    """
+
+    def __init__(self, directory: str, max_age_s: float = 30.0):
+        self.directory = directory
+        self.max_age_s = float(max_age_s)
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, pid: Optional[int] = None) -> str:
+        pid = os.getpid() if pid is None else pid
+        return os.path.join(self.directory, f"obs-{pid}.json")
+
+    def dump(self, snapshot: dict) -> str:
+        path = self._path()
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(snapshot, f)
+        os.replace(tmp, path)
+        return path
+
+    def read_all(self, exclude_self: bool = False) -> List[dict]:
+        """Every live peer's snapshot (optionally excluding this pid)."""
+        out: List[dict] = []
+        now = time.time()
+        own = self._path()
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return out
+        for name in sorted(names):
+            if not (name.startswith("obs-") and name.endswith(".json")):
+                continue
+            path = os.path.join(self.directory, name)
+            if exclude_self and path == own:
+                continue
+            try:
+                if now - os.path.getmtime(path) > self.max_age_s:
+                    continue
+                with open(path, "r", encoding="utf-8") as f:
+                    out.append(json.load(f))
+            except (OSError, ValueError):
+                continue  # torn/vanished file: skip, next dump heals it
+        return out
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("obs-") and name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except OSError:
+                    pass

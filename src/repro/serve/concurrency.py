@@ -25,14 +25,25 @@ instead.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Tuple
 
 import numpy as np
 
 from repro.base import ANNIndex
+from repro.obs.metrics import get_registry
 
 __all__ = ["RWLock", "ConcurrentIndex"]
+
+#: kernel-stage timings the traced query variants lift out of the
+#: wrapped index's ``last_stats`` (measured by the index itself)
+_STAGE_KEYS = (
+    "stage_hash_s",
+    "stage_search_s",
+    "stage_merge_s",
+    "stage_verify_s",
+)
 
 
 class RWLock:
@@ -97,6 +108,28 @@ class RWLock:
         finally:
             self.release_write()
 
+    @contextmanager
+    def read_locked_timed(self) -> Iterator[float]:
+        """Like :meth:`read_locked`, but yields the acquisition wait
+        (seconds) — how long this reader queued behind writers."""
+        t0 = time.perf_counter()
+        self.acquire_read()
+        try:
+            yield time.perf_counter() - t0
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked_timed(self) -> Iterator[float]:
+        """Like :meth:`write_locked`, but yields the acquisition wait
+        (seconds) — how long this writer queued behind readers."""
+        t0 = time.perf_counter()
+        self.acquire_write()
+        try:
+            yield time.perf_counter() - t0
+        finally:
+            self.release_write()
+
 
 class ConcurrentIndex:
     """Thread-safe facade over any :class:`~repro.base.ANNIndex`.
@@ -133,6 +166,12 @@ class ConcurrentIndex:
         self._version = 0
         self._reads = 0
         self._writes = 0
+        # Process-wide lock-contention histogram (shared by every
+        # ConcurrentIndex in the process; the registry dedupes by name).
+        self._lock_wait = get_registry().histogram(
+            "repro_lock_wait_seconds",
+            "RW-lock acquisition wait by mode (seconds)",
+        )
 
     # ------------------------------------------------------------------
     # Introspection (lock-free reads of immutable / atomic attributes)
@@ -208,6 +247,55 @@ class ConcurrentIndex:
         return ids, dists, version
 
     # ------------------------------------------------------------------
+    # Traced reads: same semantics, plus an ``info`` dict of timings
+    # ------------------------------------------------------------------
+
+    def query_traced(
+        self, q: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray, int, dict]:
+        """``(ids, dists, version, info)`` — timings for the trace plane.
+
+        ``info`` carries ``lock_wait_s``, ``query_s`` and whatever
+        ``stage_*_s`` kernel timings the wrapped index recorded in
+        ``last_stats``.  The stage timings are best-effort under
+        concurrent readers (readers share the lock and each resets
+        ``last_stats``); the lock wait and query wall time are exact.
+        """
+        with self._lock.read_locked_timed() as wait_s:
+            t0 = time.perf_counter()
+            ids, dists = self._index.query(q, k=k, **kwargs)
+            info = self._read_info(wait_s, time.perf_counter() - t0)
+            version = self._version
+        self._count_read()
+        self._lock_wait.observe(wait_s, mode="read")
+        return ids, dists, version, info
+
+    def batch_query_traced(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> Tuple[np.ndarray, np.ndarray, int, dict]:
+        """Traced variant of :meth:`batch_query_versioned`."""
+        with self._lock.read_locked_timed() as wait_s:
+            t0 = time.perf_counter()
+            ids, dists = self._index.batch_query(queries, k=k, **kwargs)
+            info = self._read_info(wait_s, time.perf_counter() - t0)
+            version = self._version
+        self._count_read()
+        self._lock_wait.observe(wait_s, mode="read")
+        return ids, dists, version, info
+
+    def _read_info(self, wait_s: float, query_s: float) -> dict:
+        """Called under the read lock: lift stage timings out of the
+        wrapped index's ``last_stats`` while they are still ours."""
+        info = {"lock_wait_s": wait_s, "query_s": query_s}
+        stats = getattr(self._index, "last_stats", None)
+        if stats:
+            for key in _STAGE_KEYS:
+                val = stats.get(key)
+                if val is not None:
+                    info[key] = float(val)
+        return info
+
+    # ------------------------------------------------------------------
     # Writes (exclusive lock)
     # ------------------------------------------------------------------
 
@@ -224,9 +312,10 @@ class ConcurrentIndex:
     def insert_versioned(self, vector: np.ndarray) -> Tuple[int, int]:
         """``(handle, version)`` — the version this insert produced."""
         self._require_dynamic("insert")
-        with self._lock.write_locked():
+        with self._lock.write_locked_timed() as wait_s:
             handle = self._index.insert(vector)
             version = self._bump_version()
+        self._lock_wait.observe(wait_s, mode="write")
         return int(handle), version
 
     def delete(self, handle: int) -> None:
@@ -235,9 +324,11 @@ class ConcurrentIndex:
     def delete_versioned(self, handle: int) -> int:
         """Delete ``handle``; returns the version this delete produced."""
         self._require_dynamic("delete")
-        with self._lock.write_locked():
+        with self._lock.write_locked_timed() as wait_s:
             self._index.delete(handle)
-            return self._bump_version()
+            version = self._bump_version()
+        self._lock_wait.observe(wait_s, mode="write")
+        return version
 
     def apply_exclusive(self, fn) -> Tuple[object, int]:
         """Run ``fn(inner_index)`` under the exclusive write lock.

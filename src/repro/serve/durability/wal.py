@@ -72,6 +72,20 @@ from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 import numpy as np
 
 from repro.base import ANNIndex
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span as obs_span
+
+_FSYNC_HIST = None
+
+
+def _fsync_hist():
+    """Lazy registry handle: fsync duration histogram (process-wide)."""
+    global _FSYNC_HIST
+    if _FSYNC_HIST is None:
+        _FSYNC_HIST = get_registry().histogram(
+            "repro_wal_fsync_seconds", "WAL fsync duration (seconds)"
+        )
+    return _FSYNC_HIST
 
 __all__ = [
     "Op",
@@ -546,25 +560,28 @@ class WriteAheadLog:
         """
         if self._file is None:
             raise WALError("log is closed")
-        record = encode_record(op, self.next_seq)
-        if (
-            self._offset > HEADER.size
-            and self._offset + len(record) > self.segment_bytes
-        ):
-            self._rotate()
-        self._file.write(record)
-        self._file.flush()
-        seq = self.next_seq
-        self.next_seq += 1
-        self._offset += len(record)
-        self.appends += 1
-        self.bytes_written += len(record)
-        if self.fsync_policy == "always":
-            self._fsync()
-        elif self.fsync_policy == "interval":
-            now = time.monotonic()
-            if now - self._last_sync >= self.fsync_interval_s:
+        # obs_span is a shared no-op unless a sampled trace is attached
+        # on this thread (the service attaches it around traced writes).
+        with obs_span("wal.append", op=op.kind):
+            record = encode_record(op, self.next_seq)
+            if (
+                self._offset > HEADER.size
+                and self._offset + len(record) > self.segment_bytes
+            ):
+                self._rotate()
+            self._file.write(record)
+            self._file.flush()
+            seq = self.next_seq
+            self.next_seq += 1
+            self._offset += len(record)
+            self.appends += 1
+            self.bytes_written += len(record)
+            if self.fsync_policy == "always":
                 self._fsync()
+            elif self.fsync_policy == "interval":
+                now = time.monotonic()
+                if now - self._last_sync >= self.fsync_interval_s:
+                    self._fsync()
         return seq
 
     def _rotate(self) -> None:
@@ -573,7 +590,10 @@ class WriteAheadLog:
         self.rotations += 1
 
     def _fsync(self) -> None:
-        os.fsync(self._file.fileno())
+        with obs_span("wal.fsync"):
+            t0 = time.perf_counter()
+            os.fsync(self._file.fileno())
+            _fsync_hist().observe(time.perf_counter() - t0)
         self._last_sync = time.monotonic()
         self.syncs += 1
 

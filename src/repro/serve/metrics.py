@@ -1,231 +1,20 @@
-"""Request counters and latency histograms for the network server.
+"""Back-compat shim: server metrics now live in :mod:`repro.obs.metrics`.
 
-The server records one latency sample per finished request into a
-:class:`LatencyHistogram` — a fixed set of geometrically spaced buckets
-(1 µs .. ~100 s, 25 % growth per bucket), the classic shape used by
-serving systems (HdrHistogram, Prometheus) because it keeps quantile
-error bounded (< ~12 %, half the bucket ratio) with O(1) record cost
-and a few hundred bytes of state.  Percentiles are interpolated inside
-the covering bucket, and exact ``min``/``max``/``sum`` are kept on the
-side so the tails and the mean are not quantised.
-
-:class:`ServerMetrics` groups one histogram plus request/error/shed
-counters per operation type (``query``/``insert``/``delete``/``stats``)
-and renders the whole thing as a JSON-safe dict for ``stats``
-responses.  Everything is guarded by a mutex so the asyncio loop and
-executor threads can record concurrently; a snapshot is consistent.
+The latency histogram and per-op server metrics started life here,
+private to the TCP server.  The observability plane
+(:mod:`repro.obs`) promoted them to shared infrastructure — the same
+histogram type now backs lock-wait and WAL-fsync timings, and
+:class:`~repro.obs.metrics.ServerMetrics` publishes into the unified
+:class:`~repro.obs.metrics.MetricsRegistry`.  Import from
+``repro.obs.metrics`` in new code; this module re-exports the public
+names so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (  # noqa: F401
+    LatencyHistogram,
+    MetricsRegistry,
+    ServerMetrics,
+    get_registry,
+)
 
-import math
-import threading
-from typing import Dict, List, Optional
-
-__all__ = ["LatencyHistogram", "ServerMetrics"]
-
-#: smallest bucketed latency (seconds); everything below lands in bucket 0
-_BASE_S = 1e-6
-#: geometric growth per bucket — 25 % keeps quantile error under ~12 %
-_GROWTH = 1.25
-#: bucket count: covers 1 µs .. ~100 s (log(1e8) / log(1.25) ≈ 83)
-_BUCKETS = 84
-_LOG_GROWTH = math.log(_GROWTH)
-
-
-def _bucket_index(seconds: float) -> int:
-    if seconds <= _BASE_S:
-        return 0
-    idx = int(math.log(seconds / _BASE_S) / _LOG_GROWTH) + 1
-    return min(idx, _BUCKETS - 1)
-
-
-def _bucket_upper_s(idx: int) -> float:
-    """Upper latency bound (seconds) of bucket ``idx``."""
-    return _BASE_S * _GROWTH**idx
-
-
-class LatencyHistogram:
-    """Fixed-size log-bucketed latency histogram with exact extremes.
-
-    ``record`` is O(1); ``percentile`` walks the (84-entry) bucket
-    array.  All methods are thread-safe.
-    """
-
-    def __init__(self) -> None:
-        self._counts: List[int] = [0] * _BUCKETS
-        self._n = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = 0.0
-        self._lock = threading.Lock()
-
-    def record(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        with self._lock:
-            self._counts[_bucket_index(seconds)] += 1
-            self._n += 1
-            self._sum += seconds
-            self._min = min(self._min, seconds)
-            self._max = max(self._max, seconds)
-
-    @property
-    def count(self) -> int:
-        return self._n
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold ``other``'s samples into this histogram (for fan-in).
-
-        Both locks are taken in a deterministic global order (by object
-        id), so two histograms concurrently merged into each other from
-        two threads cannot deadlock on the crossed acquisition.
-        """
-        if other is self:
-            with self._lock:
-                self._counts = [2 * c for c in self._counts]
-                self._n *= 2
-                self._sum *= 2.0
-            return
-        first, second = (
-            (self, other) if id(self) < id(other) else (other, self)
-        )
-        with first._lock:
-            with second._lock:
-                for i, c in enumerate(other._counts):
-                    self._counts[i] += c
-                self._n += other._n
-                self._sum += other._sum
-                self._min = min(self._min, other._min)
-                self._max = max(self._max, other._max)
-
-    def percentile(self, p: float) -> Optional[float]:
-        """The ``p``-th percentile latency in seconds (None if empty).
-
-        Linear interpolation inside the covering bucket; clamped to the
-        exact observed ``min``/``max`` so tails are never invented.
-        """
-        if not 0.0 <= p <= 100.0:
-            raise ValueError("p must be in [0, 100]")
-        with self._lock:
-            if self._n == 0:
-                return None
-            rank = p / 100.0 * self._n
-            seen = 0
-            for idx, c in enumerate(self._counts):
-                if c == 0:
-                    continue
-                if seen + c >= rank:
-                    lower = _bucket_upper_s(idx - 1) if idx > 0 else 0.0
-                    upper = _bucket_upper_s(idx)
-                    frac = (rank - seen) / c
-                    est = lower + frac * (upper - lower)
-                    return min(max(est, self._min), self._max)
-                seen += c
-            return self._max  # pragma: no cover - rounding safety net
-
-    def snapshot(self) -> dict:
-        """JSON-safe summary: count, mean/min/max and p50/p95/p99 (ms)."""
-        with self._lock:
-            n, total = self._n, self._sum
-            lo, hi = self._min, self._max
-        out = {"count": n}
-        if n == 0:
-            return out
-        out["mean_ms"] = total / n * 1e3
-        out["min_ms"] = lo * 1e3
-        out["max_ms"] = hi * 1e3
-        for p, name in ((50, "p50_ms"), (95, "p95_ms"), (99, "p99_ms")):
-            val = self.percentile(p)
-            out[name] = None if val is None else val * 1e3
-        return out
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"LatencyHistogram(n={self._n})"
-
-
-class _OpMetrics:
-    __slots__ = ("requests", "errors", "shed", "latency")
-
-    def __init__(self) -> None:
-        self.requests = 0
-        self.errors = 0
-        self.shed = 0
-        self.latency = LatencyHistogram()
-
-
-class ServerMetrics:
-    """Per-op request/error/shed counters + latency histograms.
-
-    ``observe(op, seconds, error=...)`` records one *finished* request;
-    ``count_shed(op)`` records one request rejected by admission
-    control (shed requests are counted separately and never enter the
-    latency histogram — they would drag the percentiles toward the
-    trivial rejection cost).  Unknown/bad requests are tallied via
-    ``count_bad()``.
-    """
-
-    #: op types with their own histograms; others fold into "other"
-    OPS = ("query", "insert", "delete", "stats")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._ops: Dict[str, _OpMetrics] = {}
-        self._bad = 0
-        self._connections = 0
-
-    def _op(self, op: str) -> _OpMetrics:
-        if op not in self.OPS:
-            op = "other"
-        with self._lock:
-            entry = self._ops.get(op)
-            if entry is None:
-                entry = self._ops[op] = _OpMetrics()
-            return entry
-
-    def observe(self, op: str, seconds: float, error: bool = False) -> None:
-        entry = self._op(op)
-        with self._lock:
-            entry.requests += 1
-            if error:
-                entry.errors += 1
-        entry.latency.record(seconds)
-
-    def count_shed(self, op: str) -> None:
-        entry = self._op(op)
-        with self._lock:
-            entry.requests += 1
-            entry.shed += 1
-
-    def count_bad(self) -> None:
-        """A line that never became a request (bad JSON / unknown op)."""
-        with self._lock:
-            self._bad += 1
-
-    def count_connection(self) -> None:
-        with self._lock:
-            self._connections += 1
-
-    def snapshot(self) -> dict:
-        """JSON-safe rollup: totals plus a per-op breakdown."""
-        with self._lock:
-            ops = dict(self._ops)
-            bad = self._bad
-            connections = self._connections
-        out: dict = {
-            "connections": connections,
-            "bad_requests": bad,
-            "requests_total": 0,
-            "errors_total": 0,
-            "shed_total": 0,
-            "ops": {},
-        }
-        for name, entry in sorted(ops.items()):
-            with self._lock:
-                requests, errors, shed = entry.requests, entry.errors, entry.shed
-            out["requests_total"] += requests
-            out["errors_total"] += errors
-            out["shed_total"] += shed
-            op_out = {"requests": requests, "errors": errors, "shed": shed}
-            op_out.update(entry.latency.snapshot())
-            out["ops"][name] = op_out
-        return out
+__all__ = ["LatencyHistogram", "ServerMetrics", "MetricsRegistry", "get_registry"]

@@ -68,6 +68,7 @@ import os
 import signal
 import socket
 import sys
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -76,8 +77,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.export import SnapshotSpool, merge_snapshots, render_prometheus
+from repro.obs.metrics import ServerMetrics, get_registry
+from repro.obs.tracing import Tracer, get_tracer
 from repro.serve.client import AsyncServeClient
-from repro.serve.metrics import ServerMetrics
 
 __all__ = [
     "AsyncANNServer",
@@ -161,16 +164,19 @@ class ServiceBackend(_QueryParser):
             max_workers=workers, thread_name_prefix="serve-backend"
         )
 
-    async def query(self, request: dict) -> dict:
+    async def query(self, request: dict, trace=None) -> dict:
         q, k, min_version, kwargs = self.parse_query(request)
         loop = asyncio.get_running_loop()
         if self._replica_set is not None:
+            t0 = time.perf_counter()
             ids, dists = await loop.run_in_executor(
                 self._pool,
                 lambda: self._replica_set.query(
                     q, k=k, min_version=min_version, **kwargs
                 ),
             )
+            if trace is not None:
+                trace.add_span("replica.query", t0, time.perf_counter())
         else:
             # Local reads always reflect every acknowledged write, so a
             # min_version from one of our own write responses is
@@ -184,25 +190,27 @@ class ServiceBackend(_QueryParser):
                     f"min_version={min_version} is ahead of the log "
                     f"(applied_seq={self._durable.applied_seq})"
                 )
-            fut = self._service.query_async(q, k=k, **kwargs)
+            fut = self._service.query_async(q, k=k, trace=trace, **kwargs)
             ids, dists = await asyncio.wrap_future(fut)
         return {"ids": ids.tolist(), "dists": dists.tolist()}
 
-    async def insert(self, request: dict) -> dict:
+    async def insert(self, request: dict, trace=None) -> dict:
         vector = np.asarray(request["insert"], dtype=np.float64)
         loop = asyncio.get_running_loop()
         handle = await loop.run_in_executor(
-            self._pool, self._service.insert, vector
+            self._pool, lambda: self._service.insert(vector, trace=trace)
         )
         response = {"handle": int(handle), "version": self._service.version}
         if self._durable is not None:
             response["seq"] = int(self._durable.applied_seq)
         return response
 
-    async def delete(self, request: dict) -> dict:
+    async def delete(self, request: dict, trace=None) -> dict:
         handle = int(request["delete"])
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._pool, self._service.delete, handle)
+        await loop.run_in_executor(
+            self._pool, lambda: self._service.delete(handle, trace=trace)
+        )
         response = {"deleted": handle, "version": self._service.version}
         if self._durable is not None:
             response["seq"] = int(self._durable.applied_seq)
@@ -324,21 +332,27 @@ class ReplicaBackend(_QueryParser):
                 )
             await asyncio.sleep(0.005)
 
-    async def query(self, request: dict) -> dict:
+    async def query(self, request: dict, trace=None) -> dict:
         q, k, min_version, kwargs = self.parse_query(request)
         if min_version is not None:
+            t0 = time.perf_counter()
             await self._ensure_seq(min_version)
-        fut = self._service.query_async(q, k=k, **kwargs)
+            if trace is not None:
+                trace.add_span(
+                    "replica.catchup", t0, time.perf_counter(),
+                    min_version=min_version,
+                )
+        fut = self._service.query_async(q, k=k, trace=trace, **kwargs)
         ids, dists = await asyncio.wrap_future(fut)
         return {"ids": ids.tolist(), "dists": dists.tolist()}
 
-    async def insert(self, request: dict) -> dict:
-        return await self._forward(request)
+    async def insert(self, request: dict, trace=None) -> dict:
+        return await self._forward(request, trace=trace)
 
-    async def delete(self, request: dict) -> dict:
-        return await self._forward(request)
+    async def delete(self, request: dict, trace=None) -> dict:
+        return await self._forward(request, trace=trace)
 
-    async def _forward(self, request: dict) -> dict:
+    async def _forward(self, request: dict, trace=None) -> dict:
         if self._primary_addr is None:
             return {
                 "error": "read-only worker: writes need --wal-dir (the "
@@ -346,6 +360,7 @@ class ReplicaBackend(_QueryParser):
             }
         if self._primary_lock is None:
             self._primary_lock = asyncio.Lock()
+        t0 = time.perf_counter()
         async with self._primary_lock:
             last_exc: Optional[BaseException] = None
             for attempt in range(2):
@@ -355,6 +370,10 @@ class ReplicaBackend(_QueryParser):
                             *self._primary_addr
                         )
                     response = await self._primary.request(request)
+                    if trace is not None:
+                        trace.add_span(
+                            "forward.primary", t0, time.perf_counter()
+                        )
                 except (ConnectionError, OSError) as exc:
                     stale, self._primary = self._primary, None
                     if stale is not None:
@@ -409,23 +428,53 @@ class PrimaryBackend:
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="primary-write"
         )
+        get_registry().register_collector("primary", self._metric_families)
 
-    async def query(self, request: dict) -> dict:
+    def _metric_families(self) -> dict:
+        from repro.serve.service import families_from_stats
+
+        stats = {
+            f"wal_{k}": v for k, v in self._durable.wal_stats().items()
+        }
+        tier = getattr(self._durable.inner, "tier_stats", None)
+        if callable(tier):
+            stats.update({f"tier_{k}": v for k, v in tier().items()})
+        return families_from_stats(stats)
+
+    async def query(self, request: dict, trace=None) -> dict:
         return {"error": "primary serves writes only; query a worker port"}
 
-    async def insert(self, request: dict) -> dict:
+    def _traced_write(self, fn, trace):
+        """Run ``fn`` with ``trace`` attached on the executor thread so
+        the WAL's append/fsync spans nest under the request."""
+        if trace is None:
+            return fn
+        tracer = get_tracer()
+
+        def work():
+            with tracer.attach(trace.root):
+                with tracer.span("index.write"):
+                    return fn()
+
+        return work
+
+    async def insert(self, request: dict, trace=None) -> dict:
         vector = np.asarray(request["insert"], dtype=np.float64)
         loop = asyncio.get_running_loop()
         handle = await loop.run_in_executor(
-            self._pool, self._durable.insert, vector
+            self._pool,
+            self._traced_write(lambda: self._durable.insert(vector), trace),
         )
         seq = int(self._durable.applied_seq)
         return {"handle": int(handle), "version": seq, "seq": seq}
 
-    async def delete(self, request: dict) -> dict:
+    async def delete(self, request: dict, trace=None) -> dict:
         handle = int(request["delete"])
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._pool, self._durable.delete, handle)
+        await loop.run_in_executor(
+            self._pool,
+            self._traced_write(lambda: self._durable.delete(handle), trace),
+        )
         seq = int(self._durable.applied_seq)
         return {"deleted": handle, "version": seq, "seq": seq}
 
@@ -487,6 +536,8 @@ class AsyncANNServer:
         drain_timeout: float = 10.0,
         metrics: Optional[ServerMetrics] = None,
         name: str = "server",
+        tracer: Optional[Tracer] = None,
+        obs_spool: Optional[SnapshotSpool] = None,
     ):
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
@@ -498,11 +549,45 @@ class AsyncANNServer:
         self._drain_timeout = float(drain_timeout)
         self.metrics = metrics or ServerMetrics()
         self.name = name
+        #: request tracer (default: the process-wide one; sample=0 means
+        #: the fast path never allocates a trace)
+        self.tracer = tracer or get_tracer()
+        #: prefork fan-in spool: when set, this server periodically
+        #: dumps its registry snapshot and ``metrics`` requests merge
+        #: every peer's latest dump
+        self._spool = obs_spool
+        self._spool_task: Optional[asyncio.Task] = None
         self._inflight = 0
         self._conn_tasks: set = set()
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._closed: Optional[asyncio.Event] = None
+        # Publish this server's request metrics into the unified
+        # registry (keyed by role name so a prefork parent's primary
+        # server and a test's transient servers replace cleanly).
+        get_registry().register_collector(
+            f"server-{self.name}", self.metrics.families
+        )
+        get_registry().register_collector(
+            f"tracer-{self.name}", self._tracer_families
+        )
+
+    def _tracer_families(self) -> dict:
+        stats = self.tracer.stats()
+        return {
+            "repro_trace_sampled_total": {
+                "kind": "counter",
+                "help": "requests that carried a sampled trace",
+                "samples": [
+                    {"labels": {}, "value": stats["sampled_total"]}
+                ],
+            },
+            "repro_trace_slow_total": {
+                "kind": "counter",
+                "help": "requests that entered the slow-query log",
+                "samples": [{"labels": {}, "value": stats["slow_total"]}],
+            },
+        }
 
     # -- lifecycle ----------------------------------------------------
 
@@ -516,6 +601,15 @@ class AsyncANNServer:
             self._server = await asyncio.start_server(
                 self._handle, self._host, self._port, limit=_LINE_LIMIT
             )
+        if self._spool is not None:
+            self._spool_task = asyncio.ensure_future(self._spool_loop())
+
+    async def _spool_loop(self) -> None:
+        """Periodically dump this process's snapshot for peer fan-in."""
+        while True:
+            with contextlib.suppress(Exception):
+                self._spool.dump(get_registry().snapshot())
+            await asyncio.sleep(1.0)
 
     @property
     def port(self) -> int:
@@ -551,6 +645,14 @@ class AsyncANNServer:
                 task.cancel()
             if pending:
                 await asyncio.wait(pending, timeout=1.0)
+        if self._spool_task is not None:
+            self._spool_task.cancel()
+            with contextlib.suppress(BaseException):
+                await self._spool_task
+            # One last dump so peers still see this process's final
+            # counters while the file ages out.
+            with contextlib.suppress(Exception):
+                self._spool.dump(get_registry().snapshot())
         self._closed.set()
 
     async def wait_closed(self) -> None:
@@ -562,7 +664,50 @@ class AsyncANNServer:
         snap["inflight"] = self._inflight
         snap["max_inflight"] = self._max_inflight
         snap["draining"] = self._draining
+        snap["tracer"] = self.tracer.stats()
         return snap
+
+    # -- observability ops --------------------------------------------
+
+    def _trace_response(self, request: dict) -> dict:
+        """Handle ``{"trace": ...}``: recent sampled traces + slow log.
+
+        ``{"trace": N}`` bounds both lists to N entries; ``true`` uses
+        the retention bounds.
+        """
+        arg = request.get("trace")
+        n = int(arg) if isinstance(arg, (int, float)) and arg is not True else None
+        return {
+            "traces": self.tracer.recent(n),
+            "slow": self.tracer.slow_log(n),
+            "tracer": self.tracer.stats(),
+        }
+
+    def _metrics_response(self, request: dict) -> dict:
+        """Handle ``{"metrics": ...}``: the merged registry snapshot.
+
+        With a spool (prefork), this worker dumps its own snapshot and
+        merges every peer's latest dump, so one scrape on any worker
+        covers the whole fleet.  ``{"metrics": "prometheus"}`` returns
+        the text exposition under ``"prometheus"``; anything else
+        returns the JSON snapshot tree under ``"metrics"``.
+        """
+        local = get_registry().snapshot()
+        if self._spool is not None:
+            with contextlib.suppress(Exception):
+                self._spool.dump(local)
+            snapshots = self._spool.read_all()
+            # Peers' files plus our in-memory snapshot; drop our own
+            # (possibly stale) file to avoid double counting.
+            pid = os.getpid()
+            snapshots = [s for s in snapshots if s.get("pid") != pid]
+            snapshots.append(local)
+        else:
+            snapshots = [local]
+        merged = merge_snapshots(snapshots)
+        if request.get("metrics") == "prometheus":
+            return {"prometheus": render_prometheus(merged)}
+        return {"metrics": merged}
 
     # -- connection handling ------------------------------------------
 
@@ -629,12 +774,16 @@ class AsyncANNServer:
                 op = "delete"
             elif "stats" in request:
                 op = "stats"
+            elif "trace" in request:
+                op = "trace"
+            elif "metrics" in request:
+                op = "metrics"
             else:
                 self.metrics.count_bad()
                 out_q.put_nowait(
                     ("dict", {
                         "error": "unknown request (want query/insert/"
-                        "delete/stats)"
+                        "delete/stats/trace/metrics)"
                     })
                 )
                 continue
@@ -649,10 +798,19 @@ class AsyncANNServer:
             if op == "query":
                 # Dispatch immediately: concurrent queries from every
                 # connection meet inside the service's micro-batcher.
+                # start_trace is None unless this request is sampled.
                 started = time.perf_counter()
-                qtask = asyncio.create_task(self._backend.query(request))
+                trace = self.tracer.start_trace(op, op=op)
+                if trace is not None:
+                    # Root actually began at parse; re-pin its start so
+                    # child spans can never precede it.
+                    trace.root.start_s = started
+                    trace.add_span("admission", started, time.perf_counter())
+                qtask = asyncio.create_task(
+                    self._backend.query(request, trace=trace)
+                )
                 qtask.add_done_callback(_consume_exception)
-                out_q.put_nowait(("task", op, qtask, started))
+                out_q.put_nowait(("task", op, qtask, started, trace))
             else:
                 # Writes/stats defer to the write loop: by the time the
                 # loop reaches this item, every earlier request on the
@@ -668,31 +826,50 @@ class AsyncANNServer:
             if item[0] == "dict":
                 response = item[1]
             elif item[0] == "task":
-                _, op, qtask, started = item
+                _, op, qtask, started, trace = item
                 try:
                     response = await qtask
                 except Exception as exc:
                     response = _error_response(exc)
-                self.metrics.observe(
-                    op,
-                    time.perf_counter() - started,
-                    error="error" in response,
+                elapsed = time.perf_counter() - started
+                error = "error" in response
+                if trace is not None:
+                    trace.root.annotate(error=error)
+                    trace.finish()
+                self.metrics.observe(op, elapsed, error=error)
+                self.tracer.observe_request(
+                    op, elapsed, trace=trace, error=error
                 )
                 self._inflight -= 1
             else:
                 _, op, request = item
                 started = time.perf_counter()
+                trace = None
+                if op in ("insert", "delete"):
+                    trace = self.tracer.start_trace(op, op=op)
                 try:
-                    handler = getattr(self._backend, op)
-                    response = await handler(request)
+                    if op == "trace":
+                        response = self._trace_response(request)
+                    elif op == "metrics":
+                        response = self._metrics_response(request)
+                    elif trace is not None:
+                        handler = getattr(self._backend, op)
+                        response = await handler(request, trace=trace)
+                    else:
+                        handler = getattr(self._backend, op)
+                        response = await handler(request)
                 except Exception as exc:
                     response = _error_response(exc)
                 if op == "stats" and isinstance(response.get("stats"), dict):
                     response["stats"]["server"] = self.server_stats()
-                self.metrics.observe(
-                    op,
-                    time.perf_counter() - started,
-                    error="error" in response,
+                elapsed = time.perf_counter() - started
+                error = "error" in response
+                if trace is not None:
+                    trace.root.annotate(error=error)
+                    trace.finish()
+                self.metrics.observe(op, elapsed, error=error)
+                self.tracer.observe_request(
+                    op, elapsed, trace=trace, error=error
                 )
                 self._inflight -= 1
             if broken:
@@ -813,6 +990,38 @@ class ServerConfig:
     replicas: int = 0
     tail_interval_ms: float = 50.0
     extra_manifest_kwargs: dict = field(default_factory=dict)
+    #: trace 1 in N requests (0 disables tracing; 1 traces everything)
+    trace_sample: int = 0
+    #: slow-query threshold (ms): requests at least this slow always
+    #: enter the bounded slow-query log, sampled or not
+    slow_ms: float = 100.0
+    #: where to JSON-lines-dump the slow-query log on drain (optional)
+    slow_log_path: Optional[str] = None
+    #: shared directory for prefork metric-snapshot fan-in; derived
+    #: automatically in prefork mode when unset
+    obs_dir: Optional[str] = None
+
+
+def _configure_obs(config: "ServerConfig") -> Optional[SnapshotSpool]:
+    """Apply the config's tracing knobs to the process tracer and open
+    the snapshot spool (when fan-in is wanted)."""
+    get_tracer().configure(
+        sample=config.trace_sample,
+        slow_threshold_s=config.slow_ms / 1e3,
+    )
+    if config.obs_dir:
+        return SnapshotSpool(config.obs_dir)
+    return None
+
+
+def _dump_slow_log(config: "ServerConfig") -> None:
+    if not config.slow_log_path:
+        return
+    try:
+        n = get_tracer().dump_slow_log(config.slow_log_path)
+        _log(f"slow-query log: {n} entries -> {config.slow_log_path}")
+    except OSError as exc:  # pragma: no cover - disk full etc.
+        _log(f"slow-query log dump failed: {exc}")
 
 
 def _default_query_kwargs(bundle: str) -> dict:
@@ -882,6 +1091,7 @@ def _run_single(config: ServerConfig) -> int:
     from repro.serve.service import ANNService
 
     default_kwargs = _default_query_kwargs(config.bundle)
+    obs_spool = _configure_obs(config)
     index, recovered = _open_primary_index(config)
     durable = None
     replica_set = None
@@ -921,6 +1131,7 @@ def _run_single(config: ServerConfig) -> int:
             max_inflight=config.max_inflight,
             drain_timeout=config.drain_timeout,
             name="single",
+            obs_spool=obs_spool,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -945,6 +1156,7 @@ def _run_single(config: ServerConfig) -> int:
     try:
         rc = asyncio.run(main())
     finally:
+        _dump_slow_log(config)
         service.close()
         if replica_set is not None:
             replica_set.close()
@@ -997,6 +1209,7 @@ async def _worker_async(
     from repro.serve.service import ANNService
 
     default_kwargs = _default_query_kwargs(config.bundle)
+    obs_spool = _configure_obs(config)
     applied_seq = None
     if config.wal_dir:
         from repro.serve.durability import recover
@@ -1036,6 +1249,7 @@ async def _worker_async(
         max_inflight=config.max_inflight,
         drain_timeout=config.drain_timeout,
         name=f"worker-{worker_id}",
+        obs_spool=obs_spool,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -1045,6 +1259,10 @@ async def _worker_async(
     backend.start(loop)
     ready.set()
     await server.wait_closed()
+    if worker_id == 0:
+        # One worker dumps the fleet-local slow log; per-worker files
+        # would race over the same path.
+        _dump_slow_log(config)
     await backend.aclose()
     service.close()
 
@@ -1055,6 +1273,7 @@ def _primary_writer_thread(
     stop_event: threading.Event,
     started_event: threading.Event,
     errors: Dict[str, BaseException],
+    obs_spool: Optional[SnapshotSpool] = None,
 ) -> None:
     """The prefork parent's internal write server (its own loop)."""
 
@@ -1066,6 +1285,7 @@ def _primary_writer_thread(
             max_inflight=1 << 20,  # workers self-limit; never shed writes
             drain_timeout=5.0,
             name="primary",
+            obs_spool=obs_spool,
         )
         await server.start()
         started_event.set()
@@ -1090,6 +1310,15 @@ def _run_prefork(config: ServerConfig) -> int:
         return 2
     have_reuseport = hasattr(socket, "SO_REUSEPORT")
     _default_query_kwargs(config.bundle)  # validate the bundle early
+
+    # Pick the shared snapshot-spool directory *before* forking so every
+    # worker (and the parent's primary write server) fans into one place.
+    if not config.obs_dir:
+        if config.wal_dir:
+            config.obs_dir = os.path.join(config.wal_dir, "obs")
+        else:
+            config.obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
+    obs_spool = _configure_obs(config)
 
     host, port = config.host, config.port
     placeholder = None
@@ -1155,7 +1384,7 @@ def _run_prefork(config: ServerConfig) -> int:
             target=_primary_writer_thread,
             args=(
                 write_sock, durable, stop_primary, primary_started,
-                primary_errors,
+                primary_errors, obs_spool,
             ),
             name="ann-primary",
             daemon=True,

@@ -44,19 +44,125 @@ from typing import Deque, Tuple
 import numpy as np
 
 from repro.base import ANNIndex
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer
 from repro.serve.cache import QueryCache, freeze_kwargs, query_key
 from repro.serve.concurrency import ConcurrentIndex
 from repro.serve.durability.wal import DurableIndex
 
-__all__ = ["ANNService"]
+__all__ = ["ANNService", "families_from_stats"]
+
+#: kernel stage keys in execution order, for synthesized trace spans
+_STAGE_ORDER = (
+    ("stage_hash_s", "kernel.hash"),
+    ("stage_search_s", "kernel.search"),
+    ("stage_merge_s", "kernel.merge"),
+    ("stage_verify_s", "kernel.verify"),
+)
+
+#: service ``stats()`` keys -> counter families for the registry
+_COUNTER_FAMILIES = {
+    "reads": ("repro_index_reads_total", "completed concurrent-index reads"),
+    "writes": ("repro_index_writes_total", "completed concurrent-index writes"),
+    "cache_hits": ("repro_cache_hits_total", "query cache hits"),
+    "cache_misses": ("repro_cache_misses_total", "query cache misses"),
+    "cache_evictions": ("repro_cache_evictions_total", "query cache LRU evictions"),
+    "cache_invalidations": (
+        "repro_cache_invalidations_total",
+        "query cache invalidations (version bumps)",
+    ),
+    "batches": ("repro_batch_batches_total", "micro-batches executed"),
+    "batched_queries": (
+        "repro_batch_queries_total",
+        "queries served through micro-batches",
+    ),
+    "wal_appends": ("repro_wal_appends_total", "WAL records appended"),
+    "wal_syncs": ("repro_wal_fsyncs_total", "WAL fsync calls"),
+    "wal_rotations": ("repro_wal_rotations_total", "WAL segment rotations"),
+    "wal_bytes_written": (
+        "repro_wal_appended_bytes_total",
+        "bytes appended to the WAL",
+    ),
+    "wal_snapshots": ("repro_wal_snapshots_total", "snapshot checkpoints written"),
+    "tier_seals": ("repro_tier_seals_total", "memtable seals"),
+    "tier_compactions": ("repro_tier_compactions_total", "completed compactions"),
+    "tier_compaction_errors": (
+        "repro_tier_compaction_errors_total",
+        "failed compactions",
+    ),
+    "tier_rebuilds": ("repro_tier_rebuilds_total", "full index rebuilds"),
+    "tier_compaction_time_s": (
+        "repro_tier_compaction_seconds_total",
+        "write-path seconds spent in structural ops",
+    ),
+}
+
+#: service ``stats()`` keys -> gauge families.  Merge mode matters for
+#: prefork fan-in: every worker replica mirrors the same index, so tier
+#: shape and version take ``max`` (identical everywhere, modulo lag)
+#: while per-process caches genuinely add up.
+_GAUGE_FAMILIES = {
+    "version": ("repro_index_version", "index version (completed writes)", "max"),
+    "cache_size": ("repro_cache_entries", "live query cache entries", "sum"),
+    "largest_batch": ("repro_batch_largest", "largest micro-batch seen", "max"),
+    "tier_segments": ("repro_tier_segments", "sealed LCCS segments", "max"),
+    "tier_memtable": ("repro_tier_memtable_rows", "writable memtable rows", "max"),
+    "tier_segment_rows": (
+        "repro_tier_segment_rows",
+        "rows across sealed segments",
+        "max",
+    ),
+    "tier_tombstones": ("repro_tier_tombstones", "tombstoned rows", "max"),
+    "wal_segments": ("repro_wal_segments", "live WAL segments", "max"),
+    "wal_next_seq": ("repro_wal_next_seq", "next WAL sequence number", "max"),
+}
+
+
+def families_from_stats(stats: dict) -> dict:
+    """Map a flat serving ``stats()`` dict onto registry metric families.
+
+    Shared by the service's registry collector and the prefork
+    primary's (whose stats dict uses the same ``wal_*``/``tier_*``
+    keys).  Unknown keys are simply skipped, so every layer can use it
+    with whatever subset it has.
+    """
+    families: dict = {}
+    for key, (name, help_text) in _COUNTER_FAMILIES.items():
+        val = stats.get(key)
+        if val is not None:
+            families[name] = {
+                "kind": "counter",
+                "help": help_text,
+                "samples": [{"labels": {}, "value": float(val)}],
+            }
+    for key, (name, help_text, merge) in _GAUGE_FAMILIES.items():
+        val = stats.get(key)
+        if isinstance(val, (list, tuple)):
+            val = sum(val)  # e.g. tier_segment_rows: per-segment counts
+        if val is not None:
+            families[name] = {
+                "kind": "gauge",
+                "help": help_text,
+                "merge": merge,
+                "samples": [{"labels": {}, "value": float(val)}],
+            }
+    hit_ratio = stats.get("cache_hit_ratio")
+    if hit_ratio is not None:
+        families["repro_cache_hit_ratio"] = {
+            "kind": "gauge",
+            "help": "query cache hit ratio since start",
+            "merge": "last",
+            "samples": [{"labels": {}, "value": float(hit_ratio)}],
+        }
+    return families
 
 
 class _Request:
     """One pending single-query request inside the micro-batcher."""
 
-    __slots__ = ("q", "k", "kwargs", "group", "future")
+    __slots__ = ("q", "k", "kwargs", "group", "future", "trace", "enqueue_s")
 
-    def __init__(self, q: np.ndarray, k: int, kwargs: dict):
+    def __init__(self, q: np.ndarray, k: int, kwargs: dict, trace=None):
         self.q = q
         self.k = k
         self.kwargs = kwargs
@@ -65,6 +171,11 @@ class _Request:
         #: comparison nor diverge from the cache's keying
         self.group = (k, freeze_kwargs(kwargs))
         self.future: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
+        #: sampled request's trace (or None) — carried across the thread
+        #: hop into the micro-batch executor, which grafts batch/kernel
+        #: spans onto it
+        self.trace = trace
+        self.enqueue_s = time.perf_counter()
 
 
 class ANNService:
@@ -132,25 +243,35 @@ class ANNService:
             target=self._run, name="ANNService-batcher", daemon=True
         )
         self._executor.start()
+        # Publish this service's stats() into the unified registry.  The
+        # fixed key means the newest service instance in a process wins
+        # (one serving stack per process in practice; short-lived test
+        # services replace instead of leaking).
+        get_registry().register_collector("service", self._metric_families)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
 
     def query(
-        self, q: np.ndarray, k: int = 1, **kwargs
+        self, q: np.ndarray, k: int = 1, trace=None, **kwargs
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Single query through cache + micro-batcher (blocking)."""
-        return self.query_async(q, k, **kwargs).result()
+        return self.query_async(q, k, trace=trace, **kwargs).result()
 
     def query_async(
-        self, q: np.ndarray, k: int = 1, **kwargs
+        self, q: np.ndarray, k: int = 1, trace=None, **kwargs
     ) -> "Future[Tuple[np.ndarray, np.ndarray]]":
         """Submit a single query; the future resolves to ``(ids, dists)``.
 
         Cache hits resolve immediately without touching the index; on a
         miss the request joins the micro-batch queue and executes inside
         the next coalesced ``batch_query`` call.
+
+        ``trace`` (a sampled :class:`repro.obs.tracing.Trace`, or None)
+        is deliberately a named parameter rather than part of
+        ``**kwargs``: the kwargs feed both the cache key and the
+        batch-compatibility group, and a trace must affect neither.
         """
         q = np.asarray(q)
         if q.shape != (self._ci.dim,):
@@ -167,11 +288,17 @@ class ANNService:
                 raise RuntimeError("ANNService is closed")
         fut: "Future[Tuple[np.ndarray, np.ndarray]]" = Future()
         if self._cache is not None:
+            t0 = time.perf_counter()
             hit = self._cache.get(query_key(q, k, self._ci.version, kwargs))
+            if trace is not None:
+                trace.add_span(
+                    "cache.probe", t0, time.perf_counter(),
+                    hit=hit is not None,
+                )
             if hit is not None:
                 fut.set_result(hit)
                 return fut
-        request = _Request(q.copy(), int(k), dict(kwargs))
+        request = _Request(q.copy(), int(k), dict(kwargs), trace=trace)
         with self._cond:
             if self._stop:
                 raise RuntimeError("ANNService is closed")
@@ -207,16 +334,31 @@ class ANNService:
     # Writes
     # ------------------------------------------------------------------
 
-    def insert(self, vector: np.ndarray) -> int:
+    def insert(self, vector: np.ndarray, trace=None) -> int:
         """Insert under the exclusive lock; invalidates the cache."""
-        handle, _ = self._ci.insert_versioned(vector)
+        if trace is None:
+            handle, _ = self._ci.insert_versioned(vector)
+        else:
+            # Attach the trace on this thread so the WAL's append/fsync
+            # spans (repro.obs.span calls inside DurableIndex) nest
+            # under this request instead of vanishing.
+            tracer = get_tracer()
+            with tracer.attach(trace.root):
+                with tracer.span("index.insert"):
+                    handle, _ = self._ci.insert_versioned(vector)
         if self._cache is not None:
             self._cache.invalidate()
         return handle
 
-    def delete(self, handle: int) -> None:
+    def delete(self, handle: int, trace=None) -> None:
         """Delete under the exclusive lock; invalidates the cache."""
-        self._ci.delete_versioned(handle)
+        if trace is None:
+            self._ci.delete_versioned(handle)
+        else:
+            tracer = get_tracer()
+            with tracer.attach(trace.root):
+                with tracer.span("index.delete"):
+                    self._ci.delete_versioned(handle)
         if self._cache is not None:
             self._cache.invalidate()
 
@@ -283,6 +425,14 @@ class ANNService:
             inner = nxt
         return out
 
+    def _metric_families(self) -> dict:
+        """Map :meth:`stats` onto registry families (collector hook).
+
+        Only runs at snapshot time, so the cost of walking the stats
+        tree is paid by scrapes, never by requests.
+        """
+        return families_from_stats(self.stats())
+
     def close(self) -> None:
         """Stop the executor thread; pending requests still complete.
 
@@ -299,6 +449,9 @@ class ANNService:
         self._executor.join()
         if self._durable is not None:
             self._durable.sync()
+        # Only drop the collector if it is still ours — a newer service
+        # may have replaced it already.
+        get_registry().unregister_collector("service", self._metric_families)
 
     def __enter__(self) -> "ANNService":
         return self
@@ -365,6 +518,9 @@ class ANNService:
         if not batch:
             return
         k, kwargs = batch[0].k, batch[0].kwargs
+        # Trace bookkeeping only when at least one request in the batch
+        # was sampled; the untraced path takes the exact pre-obs route.
+        traced = any(request.trace is not None for request in batch)
         try:
             if len(batch) < self._min_vector_batch:
                 # Small batches loop the single-query path: the batch
@@ -375,19 +531,37 @@ class ANNService:
                 # instant (a write may land between loop iterations).
                 rows = []
                 for request in batch:
-                    q_ids, q_dists, version = self._ci.query_versioned(
-                        request.q, k=k, **kwargs
-                    )
-                    rows.append((q_ids, q_dists, version))
+                    if traced:
+                        t_start = time.perf_counter()
+                        q_ids, q_dists, version, info = self._ci.query_traced(
+                            request.q, k=k, **kwargs
+                        )
+                        info["exec_start_s"] = t_start
+                        info["exec_end_s"] = time.perf_counter()
+                        rows.append((q_ids, q_dists, version, info))
+                    else:
+                        q_ids, q_dists, version = self._ci.query_versioned(
+                            request.q, k=k, **kwargs
+                        )
+                        rows.append((q_ids, q_dists, version, None))
             else:
                 stacked = np.stack([request.q for request in batch])
-                ids, dists, version = self._ci.batch_query_versioned(
-                    stacked, k=k, **kwargs
-                )
+                if traced:
+                    t_start = time.perf_counter()
+                    ids, dists, version, info = self._ci.batch_query_traced(
+                        stacked, k=k, **kwargs
+                    )
+                    info["exec_start_s"] = t_start
+                    info["exec_end_s"] = time.perf_counter()
+                else:
+                    ids, dists, version = self._ci.batch_query_versioned(
+                        stacked, k=k, **kwargs
+                    )
+                    info = None
                 rows = []
                 for i in range(len(batch)):
                     valid = ids[i] >= 0  # strip the -1 / inf padding
-                    rows.append((ids[i][valid], dists[i][valid], version))
+                    rows.append((ids[i][valid], dists[i][valid], version, info))
         except BaseException as exc:  # propagate to every waiter
             for request in batch:
                 request.future.set_exception(exc)
@@ -396,7 +570,9 @@ class ANNService:
             self._batches += 1
             self._batched_queries += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
-        for request, (row_ids, row_dists, row_version) in zip(batch, rows):
+        for request, (row_ids, row_dists, row_version, info) in zip(batch, rows):
+            if request.trace is not None and info is not None:
+                self._graft_batch_spans(request, len(batch), info)
             if self._cache is not None:
                 self._cache.put(
                     query_key(request.q, k, row_version, kwargs),
@@ -404,3 +580,42 @@ class ANNService:
                     row_dists,
                 )
             request.future.set_result((row_ids, row_dists))
+
+    @staticmethod
+    def _graft_batch_spans(request: _Request, batch_size: int, info: dict) -> None:
+        """Attach this batch's measured intervals to a sampled request.
+
+        The micro-batcher runs on its own thread and times things
+        itself, so spans are synthesized from captured wall-clock
+        intervals rather than opened live: a ``batch`` span from
+        enqueue to completion, with the queue wait, the index call, the
+        RW-lock wait, and the per-stage kernel timings as children.
+        Kernel stages run back-to-back inside the index, so their spans
+        are laid out sequentially after the lock wait.
+        """
+        trace = request.trace
+        exec_start = info["exec_start_s"]
+        exec_end = info["exec_end_s"]
+        batch_span = trace.add_span(
+            "batch", request.enqueue_s, exec_end,
+            size=batch_size, group_k=request.k,
+        )
+        if exec_start > request.enqueue_s:
+            trace.add_span(
+                "batch.wait", request.enqueue_s, exec_start, parent=batch_span
+            )
+        query_span = trace.add_span(
+            "index.query", exec_start, exec_end, parent=batch_span
+        )
+        cursor = exec_start
+        lock_wait = info.get("lock_wait_s")
+        if lock_wait:
+            trace.add_span(
+                "lock.wait", cursor, cursor + lock_wait, parent=query_span
+            )
+            cursor += lock_wait
+        for key, name in _STAGE_ORDER:
+            dur = info.get(key)
+            if dur:
+                trace.add_span(name, cursor, cursor + dur, parent=query_span)
+                cursor += dur

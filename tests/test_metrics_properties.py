@@ -1,0 +1,134 @@
+"""Property tests for :class:`repro.obs.metrics.LatencyHistogram`.
+
+The histogram's contract (pinned here with hypothesis):
+
+* **Quantile accuracy.**  Buckets grow geometrically by ``_GROWTH``
+  (25 %), so the estimate and the exact order statistic of the same
+  rank land in the same bucket — their ratio is bounded by the bucket
+  width.  The documented expected error is ``QUANTILE_ERROR_BOUND``
+  (half the bucket ratio, ~12.5 %); the hard worst case across the
+  full bucket is ``_GROWTH - 1`` (25 %), which is what a property test
+  may assert without flaking on adversarial rank/interpolation
+  alignments.
+* **Clamping.**  Percentiles never escape the exactly tracked
+  ``[min, max]``: p0 is exactly the minimum, p100 exactly the maximum.
+* **Merge algebra.**  ``a.merge(b)`` equals the histogram of the
+  concatenated samples; ``state()``/``merge_state()`` (the cross-
+  process fan-in used by registry snapshots) agrees with ``merge``;
+  self-merge is a no-op (the PR's regression — it used to double).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    _GROWTH,
+    QUANTILE_ERROR_BOUND,
+    LatencyHistogram,
+)
+
+# Latencies from ~2 µs to ~80 s: spans most of the bucket range without
+# touching the clamped first/last buckets (whose width is unbounded).
+latency = st.floats(
+    min_value=2e-6, max_value=80.0, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(latency, min_size=1, max_size=200)
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _filled(values):
+    hist = LatencyHistogram()
+    for v in values:
+        hist.record(v)
+    return hist
+
+
+def test_documented_bound_is_half_the_bucket_ratio():
+    assert QUANTILE_ERROR_BOUND == pytest.approx((_GROWTH - 1.0) / 2.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples, percentiles)
+def test_percentile_within_bucket_bound(values, p):
+    """The estimate is within one bucket width of the exact same-rank
+    order statistic (``np.percentile`` with ``inverted_cdf`` uses the
+    matching rank convention)."""
+    hist = _filled(values)
+    est = hist.percentile(p)
+    exact = float(np.percentile(values, p, method="inverted_cdf"))
+    assert est is not None
+    # same bucket => ratio bounded by the bucket growth factor
+    tol = _GROWTH - 1.0
+    assert est <= exact * (1.0 + tol) + 1e-12
+    assert est >= exact * (1.0 - tol) - 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(samples, percentiles)
+def test_percentile_clamped_to_observed_extremes(values, p):
+    hist = _filled(values)
+    est = hist.percentile(p)
+    assert min(values) <= est <= max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples)
+def test_p0_and_p100_are_exact(values):
+    hist = _filled(values)
+    assert hist.percentile(0.0) == pytest.approx(min(values))
+    assert hist.percentile(100.0) == pytest.approx(max(values))
+
+
+def test_percentile_empty_and_bad_p():
+    hist = LatencyHistogram()
+    assert hist.percentile(50.0) is None
+    with pytest.raises(ValueError):
+        hist.percentile(101.0)
+
+
+def _assert_states_equal(got, want):
+    """Bucket counts / count / extremes exactly; the running float sum
+    only up to accumulation order."""
+    assert got["buckets"] == want["buckets"]
+    assert got["count"] == want["count"]
+    assert got["min"] == want["min"]
+    assert got["max"] == want["max"]
+    assert got["sum"] == pytest.approx(want["sum"], rel=1e-12, abs=1e-15)
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples, samples)
+def test_merge_equals_histogram_of_concatenation(a_vals, b_vals):
+    a, b = _filled(a_vals), _filled(b_vals)
+    combined = _filled(a_vals + b_vals)
+    a.merge(b)
+    _assert_states_equal(a.state(), combined.state())
+    for p in (50.0, 95.0, 99.0):
+        assert a.percentile(p) == pytest.approx(combined.percentile(p))
+    # b is untouched by the merge
+    _assert_states_equal(b.state(), _filled(b_vals).state())
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples, samples)
+def test_state_fan_in_matches_merge(a_vals, b_vals):
+    """The registry fan-in path (state dicts across processes) agrees
+    with the in-process merge."""
+    via_merge = _filled(a_vals)
+    via_merge.merge(_filled(b_vals))
+    via_state = _filled(a_vals)
+    via_state.merge_state(_filled(b_vals).state())
+    _assert_states_equal(via_state.state(), via_merge.state())
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples)
+def test_self_merge_is_noop_property(values):
+    hist = _filled(values)
+    before = hist.state()
+    hist.merge(hist)
+    assert hist.state() == before

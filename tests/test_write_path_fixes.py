@@ -54,12 +54,23 @@ def test_merge_accumulates_counts_and_sum():
     assert b.count == 70
 
 
-def test_self_merge_doubles():
+def test_self_merge_is_noop():
+    """merge(self) must be idempotent.
+
+    The old behavior doubled counts and sums while leaving min/max
+    untouched — a fan-in loop that revisited its accumulator silently
+    corrupted totals.  Now the histogram is simply unchanged.
+    """
     hist = _filled(30)
     before = _total_seconds(hist)
+    before_snap = hist.snapshot()
     hist.merge(hist)
-    assert hist.count == 60
-    assert _total_seconds(hist) == pytest.approx(2 * before)
+    assert hist.count == 30
+    assert _total_seconds(hist) == pytest.approx(before)
+    after_snap = hist.snapshot()
+    assert after_snap["min_ms"] == before_snap["min_ms"]
+    assert after_snap["max_ms"] == before_snap["max_ms"]
+    assert after_snap["mean_ms"] == pytest.approx(before_snap["mean_ms"])
 
 
 def test_cross_merge_does_not_deadlock():
